@@ -1,0 +1,77 @@
+"""EXP-11 — the price of end-to-end encryption (§3.4, §5.1).
+
+Paper: "We are awaiting the incorporation of the necessary encryption
+hardware in our workstations and servers, since software encryption is too
+slow to be viable" — and, §3.5, "security is compromised unless all
+traffic ... is encrypted. We are not confident that paging traffic can be
+encrypted without excessive performance degradation."
+
+We fetch files of several sizes under no encryption, hardware-rate DES and
+software-rate DES, and report the elapsed time per transfer.
+"""
+
+from repro import ITCSystem, SystemConfig
+from repro.analysis import Table
+from repro.rpc.costs import EncryptionMode
+
+from _common import one_round, save_table
+
+SIZES = [4_096, 65_536, 524_288]
+
+
+def run_mode(encryption):
+    campus = ITCSystem(
+        SystemConfig(mode="revised", clusters=1, workstations_per_cluster=1,
+                     encryption=encryption, functional_payload_crypto=False,
+                     cache_max_bytes=64_000_000)
+    )
+    campus.add_user("u", "pw")
+    volume = campus.create_user_volume("u")
+    for size in SIZES:
+        campus.populate(volume, {f"/f{size}": b"s" * size}, owner="u")
+    session = campus.login(0, "u", "pw")
+    sim = campus.sim
+    timings = {}
+    for size in SIZES:
+        start = sim.now
+        campus.run_op(session.read_file(f"/vice/usr/u/f{size}"))
+        timings[size] = sim.now - start
+    return timings
+
+
+def test_exp11_encryption_overhead(benchmark):
+    modes = (EncryptionMode.NONE, EncryptionMode.HARDWARE, EncryptionMode.SOFTWARE)
+    results = one_round(benchmark, lambda: {mode: run_mode(mode) for mode in modes})
+
+    table = Table(
+        ["size (KB)", "none (s)", "hardware DES (s)", "software DES (s)",
+         "hw overhead", "sw overhead"],
+        title="EXP-11: cold fetch time by encryption mode",
+    )
+    for size in SIZES:
+        none = results[EncryptionMode.NONE][size]
+        hardware = results[EncryptionMode.HARDWARE][size]
+        software = results[EncryptionMode.SOFTWARE][size]
+        table.add(
+            size // 1024,
+            f"{none:.3f}",
+            f"{hardware:.3f}",
+            f"{software:.3f}",
+            f"+{(hardware / none - 1) * 100:.0f}%",
+            f"+{(software / none - 1) * 100:.0f}%",
+        )
+    save_table("EXP-11_encryption", table)
+
+    benchmark.extra_info["timings"] = {
+        mode: {str(k): round(v, 4) for k, v in t.items()} for mode, t in results.items()
+    }
+
+    big = SIZES[-1]
+    none = results[EncryptionMode.NONE][big]
+    hardware = results[EncryptionMode.HARDWARE][big]
+    software = results[EncryptionMode.SOFTWARE][big]
+    # Hardware encryption is affordable (the design bet)...
+    assert hardware < none * 1.6
+    # ...software encryption is "too slow to be viable".
+    assert software > hardware * 3
+    assert software > none * 4

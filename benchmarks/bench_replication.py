@@ -1,0 +1,89 @@
+"""EXP-10 — read-only replication of system binaries (§3.2, §4).
+
+Paper: "Files which are frequently read, but rarely modified, may be
+replicated in this way to enhance availability and to improve performance
+by balancing server loads... enabling system programs to be fetched from
+the nearest cluster server rather than its custodian" (the *localize if
+possible* principle).
+
+Two clusters; every cluster-1 workstation cold-fetches a set of system
+binaries whose custodian lives in cluster 0 — once without replicas, once
+with a replica released to server1.  Measured: fetch latency, backbone
+traffic, and custodian load.
+"""
+
+from repro import ITCSystem, SystemConfig
+from repro.analysis import Table
+from repro.workload import SYSTEM_BINARY
+from repro.sim.rand import WorkloadRandom
+
+from _common import one_round, save_table
+
+BINARIES = 12
+READERS = 4
+
+
+def run_variant(replicate):
+    campus = ITCSystem(
+        SystemConfig(mode="revised", clusters=2, workstations_per_cluster=READERS,
+                     functional_payload_crypto=False)
+    )
+    rng = WorkloadRandom(3)
+    unix = campus.create_volume("/unix", custodian=0, volume_id="unix")
+    campus.populate(
+        unix,
+        {f"/bin/prog{i}": SYSTEM_BINARY.content(rng.fork(i), b"\x7fELF") for i in range(BINARIES)},
+    )
+    if replicate:
+        campus.run_op(campus.server(0).release_readonly("unix", ["server0", "server1"]))
+    backbone_before = campus.cross_cluster_bytes()
+    custodian_calls_before = campus.server(0).node.calls_received.total
+
+    sim = campus.sim
+    latencies = []
+
+    def reader(ws_index):
+        username = f"u{ws_index}"
+        session = campus.login(f"ws1-{ws_index}", username, "pw")
+        for index in range(BINARIES):
+            start = sim.now
+            yield from session.read_file(f"/vice/unix/bin/prog{index}")
+            latencies.append(sim.now - start)
+
+    for index in range(READERS):
+        campus.add_user(f"u{index}", "pw")
+    processes = [sim.process(reader(index)) for index in range(READERS)]
+    sim.run_until_complete(sim.all_of(processes), limit=1e7)
+
+    return {
+        "mean_fetch": sum(latencies) / len(latencies),
+        "backbone_bytes": campus.cross_cluster_bytes() - backbone_before,
+        "custodian_calls": campus.server(0).node.calls_received.total
+        - custodian_calls_before,
+    }
+
+
+def test_exp10_read_only_replication(benchmark):
+    results = one_round(
+        benchmark, lambda: {flag: run_variant(flag) for flag in (False, True)}
+    )
+    without, with_ro = results[False], results[True]
+
+    table = Table(
+        ["quantity", "no replicas", "RO replica in each cluster"],
+        title="EXP-10: cluster-1 workstations reading cluster-0 binaries",
+    )
+    table.add("mean cold fetch (s)", f"{without['mean_fetch']:.3f}",
+              f"{with_ro['mean_fetch']:.3f}")
+    table.add("backbone bytes", without["backbone_bytes"], with_ro["backbone_bytes"])
+    table.add("custodian server calls", without["custodian_calls"],
+              with_ro["custodian_calls"])
+    save_table("EXP-10_replication", table)
+
+    benchmark.extra_info.update({"without": without, "with": with_ro})
+
+    # Localizing reads: faster fetches, backbone almost silent, custodian
+    # relieved of nearly all of the binary traffic.
+    assert with_ro["mean_fetch"] < without["mean_fetch"]
+    assert with_ro["backbone_bytes"] < 0.25 * without["backbone_bytes"]
+    assert with_ro["custodian_calls"] < 0.5 * without["custodian_calls"]

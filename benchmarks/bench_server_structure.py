@@ -1,0 +1,129 @@
+"""EXP-9 — per-client Unix processes vs a single LWP server (§3.5.2).
+
+Paper: "Experience with the prototype indicates that significant
+performance degradation is caused by context switching between the
+per-client Unix processes...  Our reimplementation will represent a server
+as a single Unix process incorporating a lightweight process mechanism."
+And on transports: the revised datagram RPC exists "to overcome Unix
+resource limitations and thus allow large client/server ratios".
+
+Both effects measured: mean call latency under concurrency for each server
+structure (same workload, same file layout, only the structure differs),
+and the hard connection cap of the process-per-client server.
+"""
+
+from repro import ITCSystem, SystemConfig
+from repro.analysis import Table
+from repro.errors import ServerUnavailable
+from repro.rpc.costs import RpcCosts
+from repro.vice.costs import ViceCosts
+
+from _common import one_round, save_table
+
+CLIENTS = 12
+CALLS_PER_CLIENT = 18
+
+
+def build(server_mode):
+    """Identical cost models; only the server structure changes."""
+    # Use prototype-era costs for both so the only delta is the structure.
+    # (Patient retransmission timers: see bench_scalability.)
+    rpc = RpcCosts.prototype().with_(retransmit_timeout=120.0)
+    vice = ViceCosts.prototype()
+    campus = ITCSystem(
+        SystemConfig(
+            mode="prototype",
+            clusters=1,
+            workstations_per_cluster=CLIENTS,
+            functional_payload_crypto=False,
+            rpc_costs=rpc,
+            vice_costs=vice,
+            max_server_processes=None,
+        )
+    )
+    server = campus.server(0)
+    # Swap the server structure under test.
+    server.node.server_mode = server_mode
+    if server_mode == "lwp":
+        server.node.costs = rpc.with_(switches_per_call=0)
+    for index in range(CLIENTS):
+        username = f"u{index}"
+        campus.add_user(username, "pw")
+        volume = campus.create_user_volume(username)
+        campus.populate(volume, {"/doc": b"d" * 2000}, owner=username)
+    return campus
+
+
+def run_load(server_mode):
+    campus = build(server_mode)
+    sim = campus.sim
+    latencies = []
+
+    def client(index):
+        username = f"u{index}"
+        session = campus.login(index, username, "pw")
+        path = f"/vice/usr/{username}/doc"
+        for _ in range(CALLS_PER_CLIENT):
+            start = sim.now
+            yield from session.stat(path)
+            latencies.append(sim.now - start)
+
+    processes = [sim.process(client(index)) for index in range(CLIENTS)]
+    sim.run_until_complete(sim.all_of(processes), limit=1e7)
+    return {
+        "mean_latency": sum(latencies) / len(latencies),
+        "wall": sim.now,
+        "server_cpu": campus.server(0).host.cpu_utilization(),
+    }
+
+
+def connection_cap():
+    """The prototype's Unix limit: connections beyond the cap are refused."""
+    campus = ITCSystem(
+        SystemConfig(
+            mode="prototype", clusters=1, workstations_per_cluster=6,
+            functional_payload_crypto=False, max_server_processes=4,
+        )
+    )
+    for index in range(6):
+        campus.add_user(f"u{index}", "pw")
+    refused = 0
+    for index in range(6):
+        session = campus.login(index, f"u{index}", "pw")
+        try:
+            campus.run_op(session.listdir("/vice"))
+        except ServerUnavailable:
+            refused += 1
+    return refused
+
+
+def test_exp9_server_structure(benchmark):
+    def both():
+        return (
+            {mode: run_load(mode) for mode in ("process", "lwp")},
+            connection_cap(),
+        )
+
+    results, refused = one_round(benchmark, both)
+    process, lwp = results["process"], results["lwp"]
+
+    table = Table(
+        ["quantity", "per-client processes", "single process + LWPs"],
+        title=f"EXP-9: server structure under {CLIENTS} concurrent clients",
+    )
+    table.add("mean call latency (ms)", f"{process['mean_latency'] * 1000:.0f}",
+              f"{lwp['mean_latency'] * 1000:.0f}")
+    table.add("completion time (s)", f"{process['wall']:.1f}", f"{lwp['wall']:.1f}")
+    table.add("server CPU", f"{process['server_cpu'] * 100:.0f}%",
+              f"{lwp['server_cpu'] * 100:.0f}%")
+    cap = Table(["quantity", "value"], title="Unix process-limit effect")
+    cap.add("connections refused (6 clients, cap 4)", refused)
+    save_table("EXP-9_server_structure", table, cap)
+
+    benchmark.extra_info.update({"process": process, "lwp": lwp, "refused": refused})
+
+    # Context switching costs real latency...
+    assert lwp["mean_latency"] < process["mean_latency"]
+    assert lwp["wall"] <= process["wall"]
+    # ...and the per-client-process server cannot exceed its cap.
+    assert refused == 2

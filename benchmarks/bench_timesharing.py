@@ -1,0 +1,122 @@
+"""EXP-13 — workstations vs. the timesharing yardstick (§2.2, §5.2).
+
+Paper: the performance goal is "at least as good as that of a
+lightly-loaded timesharing system at CMU", and §5.2 claims success:
+"our users perceive the overall performance of the workstations to be
+equal to or better than that of the large timesharing systems on campus."
+
+The measured quantity is identical work — a make-style recompile of 40
+source files (stat pass, read, compile, write objects) — completed on
+three worlds:
+
+* a dedicated Virtue workstation with a warm Vice cache (prototype era),
+* the shared campus machine with 5 logins ("lightly loaded"),
+* the same machine with 30 and 50 logins (the reality that motivated
+  personal workstations).
+
+A VAX-780-class shared machine is modestly faster than one workstation
+(cpu_speed 1.25 vs 1.0), but it is shared; the workstation's cycles are
+its user's alone and its file accesses are cache hits.
+"""
+
+from repro import ITCSystem, SystemConfig
+from repro.analysis import Table
+from repro.sim.rand import WorkloadRandom
+from repro.workload.filesizes import USER_DOCUMENT
+from repro.workload.timesharing import recompile_task, run_timesharing_compile
+
+from _common import one_round, save_table
+
+SOURCES = 40
+
+
+class _WorkstationTaskAdapter:
+    """Maps the shared recompile task onto a Virtue workstation session."""
+
+    def __init__(self, campus, session):
+        self.campus = campus
+        self.session = session
+        self.host = session.workstation.host
+
+    def stat(self, path):
+        return self.session.stat(path)
+
+    def read_file(self, path):
+        return self.session.read_file(path)
+
+    def compute(self, seconds):
+        return self.host.compute(seconds)
+
+    def write_output(self, name, data):
+        # Objects are temporaries: the local name space, per §3.1.
+        return self.session.write_file(f"/tmp/{name}", data)
+
+
+def run_workstation_compile(mode="prototype"):
+    campus = ITCSystem(
+        SystemConfig(mode=mode, clusters=1, workstations_per_cluster=1,
+                     functional_payload_crypto=False)
+    )
+    campus.add_user("u", "pw")
+    volume = campus.create_user_volume("u")
+    rng = WorkloadRandom(5)
+    sources = []
+    tree = {}
+    for index in range(SOURCES):
+        tree[f"/src_{index:03d}.c"] = USER_DOCUMENT.content(rng.fork(7000 + index), b"/*c*/")
+        sources.append(f"/vice/usr/u/src_{index:03d}.c")
+    campus.populate(volume, tree, owner="u")
+    session = campus.login(0, "u", "pw")
+    # Warm the whole-file cache: the steady state a user actually lives in.
+    for path in sources:
+        campus.run_op(session.read_file(path))
+    adapter = _WorkstationTaskAdapter(campus, session)
+    start = campus.sim.now
+    campus.run_op(recompile_task(adapter, sources))
+    return {"task_seconds": campus.sim.now - start}
+
+
+def test_exp13_perceived_performance(benchmark):
+    def all_worlds():
+        return {
+            "workstation": run_workstation_compile("prototype"),
+            "workstation_revised": run_workstation_compile("revised"),
+            "ts_5": run_timesharing_compile(5, source_count=SOURCES),
+            "ts_30": run_timesharing_compile(30, source_count=SOURCES),
+            "ts_50": run_timesharing_compile(50, source_count=SOURCES),
+        }
+
+    results = one_round(benchmark, all_worlds)
+
+    table = Table(
+        ["world", "recompile task (s)", "vs lightly-loaded TS"],
+        title="EXP-13: identical recompile task, three worlds",
+    )
+    light = results["ts_5"]["task_seconds"]
+    rows = [
+        ("Virtue workstation, warm cache (prototype Vice)", results["workstation"]["task_seconds"]),
+        ("Virtue workstation, warm cache (revised Vice)", results["workstation_revised"]["task_seconds"]),
+        ("timesharing, 5 logins (lightly loaded)", light),
+        ("timesharing, 30 logins", results["ts_30"]["task_seconds"]),
+        ("timesharing, 50 logins", results["ts_50"]["task_seconds"]),
+    ]
+    for label, seconds in rows:
+        table.add(label, f"{seconds:.0f}", f"{seconds / light:.2f}x")
+    save_table("EXP-13_timesharing", table)
+
+    benchmark.extra_info.update(
+        {k: round(v["task_seconds"], 1) for k, v in results.items()}
+    )
+
+    workstation = results["workstation"]["task_seconds"]
+    revised = results["workstation_revised"]["task_seconds"]
+    loaded_30 = results["ts_30"]["task_seconds"]
+    loaded_50 = results["ts_50"]["task_seconds"]
+    # The §2.2 goal ("at least as good as lightly loaded"): the prototype
+    # gets within its per-open tax of it; the revised implementation meets
+    # it outright against a machine 1.25x its speed.
+    assert workstation < 1.45 * light
+    assert revised < 1.2 * light
+    # The §5.2 perception: better than campus reality at real login counts.
+    assert workstation < loaded_30 < loaded_50
+    assert revised < loaded_30

@@ -1,0 +1,170 @@
+"""EXP-12 — location mechanism and volume operations (§3.1, §5.3).
+
+Three claims measured:
+
+1. "An important property of the location database is that it changes
+   relatively slowly" and clients cache hints — so steady-state operation
+   generates (almost) no location queries.
+2. "The files whose custodians are being modified are unavailable during
+   the change" — the move window scales with volume size, and other
+   volumes are untouched.
+3. "We will use copy-on-write semantics to make cloning a relatively
+   inexpensive operation" — clone cost scales with file *count*, not bytes.
+"""
+
+import time
+
+from repro import ITCSystem, SystemConfig
+from repro.analysis import Table
+from repro.errors import VolumeOffline
+
+from _common import one_round, save_table
+
+
+def location_hint_economy():
+    campus = ITCSystem(
+        SystemConfig(mode="revised", clusters=2, workstations_per_cluster=1,
+                     functional_payload_crypto=False)
+    )
+    campus.add_user("u", "pw")
+    volume = campus.create_user_volume("u")
+    campus.populate(volume, {f"/f{i}": b"x" * 100 for i in range(20)}, owner="u")
+    session = campus.login(0, "u", "pw")
+    server = campus.server(0)
+    for index in range(20):
+        campus.run_op(session.read_file(f"/vice/usr/u/f{index}"))
+    location_queries = server.node.calls_received.count("GetCustodian")
+    hints = campus.workstation(0).venus.hints
+    return {
+        "opens": 20,
+        "location_queries": location_queries,
+        "hint_hits": hints.hits,
+        "hint_misses": hints.misses,
+    }
+
+
+def move_window(file_count, file_size, probe=False):
+    campus = ITCSystem(
+        SystemConfig(mode="revised", clusters=2, workstations_per_cluster=1,
+                     functional_payload_crypto=False)
+    )
+    campus.add_user("u", "pw")
+    volume = campus.create_user_volume("u")
+    campus.populate(
+        volume, {f"/f{i}": b"m" * file_size for i in range(file_count)}, owner="u"
+    )
+    campus.add_user("bystander", "pw")
+    campus.create_volume("/usr/bystander", custodian=0, volume_id="u-bystander",
+                         owner="bystander")
+    sim = campus.sim
+    offline_probe = {"worked_during_move": not probe, "blocked": not probe}
+    waiters = []
+
+    def prober():
+        # While the move is in flight, the moving volume refuses service
+        # but the bystander's volume keeps working.
+        bystander = campus.login("ws1-0", "bystander", "pw")
+        yield sim.timeout(0.2)
+        yield from bystander.write_file("/vice/usr/bystander/alive", b"yes")
+        offline_probe["worked_during_move"] = True
+
+    def direct_read_probe():
+        yield sim.timeout(0.2)
+        try:
+            volume.read("/f0")
+        except VolumeOffline:
+            offline_probe["blocked"] = True
+
+    start = sim.now
+    move = sim.process(campus.server(0).move_volume("u-u", "server1"))
+    if probe:  # only meaningful when the window comfortably exceeds 0.2 s
+        waiters.append(sim.process(prober()))
+        waiters.append(sim.process(direct_read_probe()))
+    window_end = {}
+
+    def watch_move():
+        yield move
+        window_end["at"] = sim.now
+
+    watcher = sim.process(watch_move())
+    sim.run_until_complete(sim.all_of([watcher] + waiters), limit=1e7)
+    return {
+        "files": file_count,
+        "bytes": file_count * file_size,
+        "window": window_end["at"] - start,
+        **offline_probe,
+    }
+
+
+def clone_costs():
+    rows = []
+    for file_count, file_size in [(10, 1000), (10, 100_000), (100, 1000)]:
+        campus = ITCSystem(
+            SystemConfig(mode="revised", clusters=1, workstations_per_cluster=1)
+        )
+        campus.add_user("u", "pw")
+        volume = campus.create_user_volume("u")
+        campus.populate(
+            volume, {f"/f{i}": b"c" * file_size for i in range(file_count)}, owner="u"
+        )
+        started = time.perf_counter()
+        clone = volume.clone("u-u-ro")
+        elapsed = time.perf_counter() - started
+        shared = sum(
+            1 for i in range(file_count)
+            if clone.resolve(f"/f{i}").data is volume.resolve(f"/f{i}").data
+        )
+        rows.append(
+            {"files": file_count, "file_size": file_size,
+             "clone_wall_us": elapsed * 1e6, "data_shared": shared}
+        )
+    return rows
+
+
+def test_exp12_location_and_volumes(benchmark):
+    def everything():
+        return (
+            location_hint_economy(),
+            [move_window(10, 2_000), move_window(10, 200_000, probe=True), move_window(50, 2_000)],
+            clone_costs(),
+        )
+
+    hints, moves, clones = one_round(benchmark, everything)
+
+    hint_table = Table(["quantity", "value"], title="EXP-12a: location hint economy")
+    hint_table.add("file opens", hints["opens"])
+    hint_table.add("GetCustodian queries issued", hints["location_queries"])
+    hint_table.add("hint cache hits", hints["hint_hits"])
+    hint_table.add("hint cache misses", hints["hint_misses"])
+
+    move_table = Table(
+        ["files", "bytes", "offline window (s)", "volume blocked", "others fine"],
+        title="EXP-12b: volume move unavailability",
+    )
+    for row in moves:
+        move_table.add(row["files"], row["bytes"], f"{row['window']:.2f}",
+                       row["blocked"], row["worked_during_move"])
+
+    clone_table = Table(
+        ["files", "file size", "clone wall time (µs)", "bodies shared (COW)"],
+        title="EXP-12c: copy-on-write clone cost",
+    )
+    for row in clones:
+        clone_table.add(row["files"], row["file_size"],
+                        f"{row['clone_wall_us']:.0f}", row["data_shared"])
+
+    save_table("EXP-12_volumes", hint_table, move_table, clone_table)
+    benchmark.extra_info.update({"hints": hints, "moves": moves})
+
+    # 1. One location query serves many opens.
+    assert hints["location_queries"] <= 2
+    assert hints["hint_hits"] > 10 * max(1, hints["hint_misses"])
+    # 2. The window scales with volume bytes; service elsewhere continues.
+    assert moves[1]["window"] > 3 * moves[0]["window"]
+    assert moves[1]["worked_during_move"], "bystander volume stalled during move"
+    assert moves[1]["blocked"], "moving volume should refuse service mid-move"
+
+    # 3. Cloning shares every file body (COW) and its cost tracks file
+    #    count, not bytes: 100x the bytes must not cost 10x the time.
+    assert all(row["data_shared"] == row["files"] for row in clones)
+    assert clones[1]["clone_wall_us"] < 10 * clones[0]["clone_wall_us"]

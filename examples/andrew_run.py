@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""The 5-phase benchmark (§5.2), local vs remote, both implementations.
+
+Reproduces the paper's headline measurement in miniature: "the benchmark
+takes about 1000 seconds ... about 80% longer when the workstation is
+obtaining all its files from an unloaded Vice server" — and then shows
+what the redesign buys.
+
+Run:  python examples/andrew_run.py          (takes a few seconds of wall time)
+"""
+
+from repro import ITCSystem, SystemConfig
+from repro.workload import AndrewBenchmark, PHASES, make_source_tree
+
+
+def run_variant(mode, remote):
+    campus = ITCSystem(
+        SystemConfig(mode=mode, clusters=1, workstations_per_cluster=1,
+                     functional_payload_crypto=False)
+    )
+    campus.add_user("u", "pw")
+    volume = campus.create_user_volume("u")
+    tree = make_source_tree()
+    workstation = campus.workstation(0)
+    session = campus.login(workstation, "u", "pw")
+    if remote:
+        campus.populate(volume, tree, owner="u")
+        bench = AndrewBenchmark(session, "/vice/usr/u/src", "/vice/usr/u/target")
+    else:
+        for path, data in sorted(tree.items()):
+            parts = path.strip("/").split("/")
+            built = ""
+            for part in parts[:-1]:
+                built += "/" + part
+                if not workstation.local_fs.exists(built):
+                    workstation.local_fs.mkdir(built)
+            workstation.local_fs.create(path, data)
+        bench = AndrewBenchmark(session, "/src", "/target")
+    return campus.run_op(bench.run())
+
+
+def main():
+    print("Running the 5-phase benchmark (virtual seconds)...\n")
+    local = run_variant("prototype", remote=False)
+    proto = run_variant("prototype", remote=True)
+    revised = run_variant("revised", remote=True)
+
+    header = f"{'phase':<10} {'local':>9} {'prototype remote':>17} {'revised remote':>15}"
+    print(header)
+    print("-" * len(header))
+    for phase in PHASES:
+        print(f"{phase:<10} {local.phase_seconds[phase]:>8.1f}s "
+              f"{proto.phase_seconds[phase]:>16.1f}s "
+              f"{revised.phase_seconds[phase]:>14.1f}s")
+    print("-" * len(header))
+    print(f"{'Total':<10} {local.total_seconds:>8.0f}s "
+          f"{proto.total_seconds:>16.0f}s {revised.total_seconds:>14.0f}s")
+    print()
+    print(f"paper:    local ≈ 1000s, remote ≈ 80% longer")
+    print(f"measured: local = {local.total_seconds:.0f}s, prototype remote = "
+          f"+{proto.total_seconds / local.total_seconds - 1:.0%}, "
+          f"revised remote = +{revised.total_seconds / local.total_seconds - 1:.0%}")
+
+
+if __name__ == "__main__":
+    main()

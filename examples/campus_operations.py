@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Day-2 operations: monitoring, rebalancing, and low-function clients.
+
+Two of the paper's forward-looking sections made real:
+
+* §3.6 — "monitoring tools ... to recognize long-term changes in user
+  access patterns and help reassign users to cluster servers so as to
+  balance server loads and reduce cross-cluster traffic";
+* §3.3 — "a surrogate server for IBM PCs" attaching low-function machines
+  through a Virtue workstation's transparent Vice connection.
+
+Run:  python examples/campus_operations.py
+"""
+
+from repro import ITCSystem, SystemConfig
+from repro.analysis import CampusMonitor
+from repro.virtue import PersonalComputer, SurrogateServer
+
+
+def main():
+    campus = ITCSystem(SystemConfig(clusters=2, workstations_per_cluster=2))
+    monitor = CampusMonitor(campus)
+
+    # A student's volume was placed near her old dormitory (cluster 0)...
+    campus.add_user("student", "pw")
+    campus.create_user_volume("student", cluster=0)
+    print("The student's volume starts at:",
+          campus.servers[0].location.custodian_of("/usr/student"))
+
+    # ...but she has moved: all her activity now comes from cluster 1.
+    session = campus.login("ws1-0", "student", "pw")
+    for index in range(30):
+        campus.run_op(session.write_file(f"/vice/usr/student/notes{index}", b"n" * 400))
+        campus.run_op(session.read_file(f"/vice/usr/student/notes{index}"))
+    print(f"After a month of work, backbone carried "
+          f"{campus.cross_cluster_bytes()} bytes of her traffic")
+    print()
+
+    print("The monitoring tools report:")
+    for volume_id, by_segment in monitor.traffic_matrix().items():
+        print(f"  {volume_id}: {by_segment}")
+    for rec in monitor.recommendations(min_accesses=20):
+        print(f"  RECOMMEND move {rec.volume_id}: {rec.current_server} -> "
+              f"{rec.suggested_server}  ({rec.reason})")
+    print()
+
+    print("A human operator approves; the volume moves (offline briefly):")
+    rec = monitor.recommendations(min_accesses=20)[0]
+    start = campus.sim.now
+    campus.run_op(monitor.apply(rec))
+    print(f"  move window: {campus.sim.now - start:.2f}s virtual")
+    print(f"  custodian now: {campus.servers[0].location.custodian_of('/usr/student')}")
+    monitor.reset()
+    before = campus.cross_cluster_bytes()
+    campus.workstation("ws1-0").venus.invalidate_all()
+    campus.run_op(session.read_file("/vice/usr/student/notes0"))
+    print(f"  a cold re-read now adds {campus.cross_cluster_bytes() - before} "
+          "backbone bytes (served in-cluster)")
+    print()
+
+    print("Meanwhile, an IBM PC attaches through a surrogate (§3.3):")
+    surrogate = SurrogateServer(campus.workstation("ws1-1"), "pcnet0")
+    pc = PersonalComputer(surrogate, "ibm-pc-1")
+    campus.run_op(pc.attach("student", "pw"))
+    campus.run_op(pc.write_file("/vice/usr/student/pc-report.txt",
+                                b"written from a 256KB PC"))
+    print("  the PC wrote into Vice; a workstation reads it back:")
+    data = campus.run_op(session.read_file("/vice/usr/student/pc-report.txt"))
+    print(f"  {data.decode()!r}")
+    print(f"  surrogate served {surrogate.requests_served} PC requests")
+    print()
+
+    print("Per-user usage accounting (§3.6, observed not billed):")
+    for user, amount in sorted(monitor.usage_by_user().items()):
+        print(f"  {user}: {amount} bytes of file traffic")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Heterogeneity via symbolic links (paper Fig. 3-2, §3.1).
+
+"On a Sun workstation, the local directory /bin is a symbolic link to the
+remote directory /vice/unix/sun/bin; on a Vax, /bin is a symbolic link to
+/vice/unix/vax/bin.  The extra level of indirection provided by symbolic
+links is thus of great value in supporting a heterogeneous environment."
+
+A Sun and a Vax sit side by side; both run `/bin/cc`, each transparently
+gets its own architecture's binary from the shared space, and both see the
+same shared files everywhere else.
+
+Run:  python examples/heterogeneous_campus.py
+"""
+
+from repro import ITCSystem, SystemConfig
+
+
+def main():
+    campus = ITCSystem(SystemConfig(clusters=1, workstations_per_cluster=2))
+    campus.add_user("dev", "pw")
+    campus.create_user_volume("dev")
+
+    # The shared space carries per-architecture binary trees.
+    unix = campus.create_volume("/unix", custodian=0, volume_id="unix")
+    campus.populate(
+        unix,
+        {
+            "/sun/bin/cc": b"\x7fELF MC68020 compiler",
+            "/sun/bin/ls": b"\x7fELF MC68020 ls",
+            "/vax/bin/cc": b"\x7fELF VAX-11 compiler",
+            "/vax/bin/ls": b"\x7fELF VAX-11 ls",
+        },
+    )
+
+    # Two workstations of different type; only their local symlinks differ.
+    sun = campus.workstation(0)
+    sun.ws_type = "sun"
+    vax = campus.workstation(1)
+    vax.ws_type = "vax"
+    for workstation in (sun, vax):
+        workstation.local_fs.symlink("/bin", f"/vice/unix/{workstation.ws_type}/bin")
+
+    sun_dev = campus.login(sun, "dev", "pw")
+    vax_dev = campus.login(vax, "dev", "pw")
+
+    print("The same local name, per-architecture shared binaries:")
+    sun_cc = campus.run_op(sun_dev.read_file("/bin/cc"))
+    vax_cc = campus.run_op(vax_dev.read_file("/bin/cc"))
+    print(f"  on the Sun,  /bin/cc -> {sun_cc.decode()}")
+    print(f"  on the Vax,  /bin/cc -> {vax_cc.decode()}")
+    print()
+
+    print("Where the names actually point:")
+    for workstation in (sun, vax):
+        target = workstation.local_fs.readlink("/bin")
+        print(f"  {workstation.name} ({workstation.ws_type}): /bin -> {target}")
+    print()
+
+    print("Everything else in the shared space is identical for both:")
+    campus.run_op(sun_dev.write_file("/vice/usr/dev/shared-note", b"works on my Sun"))
+    note = campus.run_op(vax_dev.read_file("/vice/usr/dev/shared-note"))
+    print(f"  the Vax reads the Sun's note: {note.decode()!r}")
+    print()
+
+    print("Local files stay local (Fig. 3-1's partition):")
+    campus.run_op(sun_dev.write_file("/tmp/scratch.o", b"sun-only temporary"))
+    exists_on_vax = campus.run_op(vax_dev.exists("/tmp/scratch.o"))
+    print(f"  /tmp/scratch.o written on the Sun, visible on the Vax: {exists_on_vax}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Security walkthrough: untrusted workstations, ACLs, negative rights.
+
+Demonstrates §3.4 end to end:
+  1. mutual authentication — a wrong password gets nothing;
+  2. an eavesdropper on the campus LAN sees only ciphertext;
+  3. access lists with recursive groups;
+  4. negative rights as the rapid-revocation mechanism.
+
+Run:  python examples/security_acl.py
+"""
+
+from repro import ITCSystem, SystemConfig
+from repro.errors import AuthenticationFailure, PermissionDenied
+
+
+def main():
+    campus = ITCSystem(SystemConfig(clusters=1, workstations_per_cluster=3))
+    campus.add_user("satya", "pw-satya")
+    campus.add_user("howard", "pw-howard")
+    campus.add_user("mallory", "pw-mallory")
+    campus.create_user_volume("satya")
+    satya = campus.login("ws0-0", "satya", "pw-satya")
+
+    # ---------------------------------------------------------------- 1
+    print("1. Mutual authentication")
+    impostor = campus.login("ws0-1", "satya", "guessed-password")
+    try:
+        campus.run_op(impostor.listdir("/vice/usr/satya"))
+    except AuthenticationFailure:
+        print("   wrong password -> AuthenticationFailure (nothing leaked)")
+    print()
+
+    # ---------------------------------------------------------------- 2
+    print("2. The exposed LAN")
+    secret = b"grant proposal: ask for $2,000,000"
+    wire_capture = []
+    original_send = campus.network.send
+
+    def wiretap(datagram, kind="data", deliver=True):
+        envelope = datagram.payload
+        wire_capture.append(getattr(envelope, "body", b"") + getattr(envelope, "payload", b""))
+        return original_send(datagram, kind, deliver)
+
+    campus.network.send = wiretap
+    campus.run_op(satya.write_file("/vice/usr/satya/proposal.txt", secret))
+    campus.network.send = original_send
+    snooped = b"".join(wire_capture)
+    print(f"   {len(wire_capture)} messages captured, {len(snooped)} bytes total")
+    print(f"   plaintext visible to the wiretap: {secret in snooped}")
+    print()
+
+    # ---------------------------------------------------------------- 3
+    print("3. Access lists and recursive groups")
+    campus.add_group("itc-staff", members=["howard"])
+    campus.add_group("project-vice", members=["itc-staff"])  # group in group
+    campus.run_op(satya.mkdir("/vice/usr/satya/vice-design"))
+    acl = campus.run_op(satya.get_acl("/vice/usr/satya/vice-design"))
+    acl["positive"]["project-vice"] = "rliw"
+    acl["positive"].pop("system:anyuser", None)  # private to the project
+    campus.run_op(satya.set_acl("/vice/usr/satya/vice-design", acl))
+    campus.run_op(
+        satya.write_file("/vice/usr/satya/vice-design/ideas.txt", b"callbacks!")
+    )
+
+    howard = campus.login("ws0-1", "howard", "pw-howard")
+    data = campus.run_op(howard.read_file("/vice/usr/satya/vice-design/ideas.txt"))
+    print(f"   howard (member via itc-staff ⊆ project-vice) reads: {data.decode()!r}")
+    mallory = campus.login("ws0-2", "mallory", "pw-mallory")
+    try:
+        campus.run_op(mallory.read_file("/vice/usr/satya/vice-design/ideas.txt"))
+    except PermissionDenied:
+        print("   mallory (no group) -> PermissionDenied")
+    print()
+
+    # ---------------------------------------------------------------- 4
+    print("4. Negative rights: rapid revocation")
+    campus.add_member("itc-staff", "mallory")  # mallory joins the staff...
+    data = campus.run_op(mallory.read_file("/vice/usr/satya/vice-design/ideas.txt"))
+    print(f"   mallory, newly on staff, reads: {data.decode()!r}")
+    print("   ...and is then caught leaking documents.")
+    # Removing her from every group would crawl the replicated protection
+    # database; a negative entry on the one ACL is immediate:
+    acl = campus.run_op(satya.get_acl("/vice/usr/satya/vice-design"))
+    acl["negative"] = {"mallory": "rliwdak"}
+    campus.run_op(satya.set_acl("/vice/usr/satya/vice-design", acl))
+    try:
+        campus.run_op(mallory.read_file("/vice/usr/satya/vice-design/ideas.txt"))
+    except PermissionDenied:
+        print("   negative rights override her group grant -> PermissionDenied")
+    data = campus.run_op(howard.read_file("/vice/usr/satya/vice-design/ideas.txt"))
+    print(f"   howard is unaffected: {data.decode()!r}")
+
+
+if __name__ == "__main__":
+    main()

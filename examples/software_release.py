@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Releasing system software with read-only volume clones (§3.2, §5.3).
+
+"The creation of a read-only subtree is an atomic operation, thus
+providing a convenient mechanism to support the orderly release of new
+system software.  Multiple coexisting versions of a subsystem are
+represented by their respective read-only subtrees."
+
+An administrator stages compiler release 2 in the read-write volume, clones
+it, and places replicas in both clusters; workstations keep fetching from
+their nearest replica, custodian load drops, and the frozen release never
+changes under users' feet.
+
+Run:  python examples/software_release.py
+"""
+
+from repro import ITCSystem, SystemConfig
+
+
+def main():
+    campus = ITCSystem(SystemConfig(clusters=2, workstations_per_cluster=2))
+    campus.add_user("operator", "ops")
+    campus.add_user("student", "pw")
+
+    # The system-software volume, custodian in cluster 0.
+    unix = campus.create_volume("/unix", custodian=0, volume_id="unix", owner="operator")
+    campus.populate(
+        unix,
+        {
+            "/bin/cc": b"\x7fELF cc release 1 " + b"c" * 40_000,
+            "/bin/ld": b"\x7fELF ld release 1 " + b"l" * 30_000,
+            "/bin/make": b"\x7fELF make release 1 " + b"m" * 20_000,
+        },
+        owner="operator",
+    )
+
+    print("Release 1 is live. A student in cluster 1 compiles:")
+    student = campus.login("ws1-0", "student", "pw")
+    backbone_before = campus.cross_cluster_bytes()
+    campus.run_op(student.read_file("/vice/unix/bin/cc"))
+    print(f"  cold fetch of /vice/unix/bin/cc crossed the backbone "
+          f"({campus.cross_cluster_bytes() - backbone_before} bytes): "
+          "the custodian lives in cluster 0")
+    print()
+
+    print("The operator clones the volume and places replicas in BOTH clusters:")
+    campus.run_op(
+        campus.server(0).release_readonly("unix", ["server0", "server1"])
+    )
+    entry = campus.server(1).location.entry_for_volume("unix")
+    print(f"  location database now lists replicas at: {entry.ro_servers}")
+
+    # A different student, cold cache, after the release:
+    campus.add_user("student2", "pw")
+    student2 = campus.login("ws1-1", "student2", "pw")
+    backbone_before = campus.cross_cluster_bytes()
+    campus.run_op(student2.read_file("/vice/unix/bin/cc"))
+    crossed = campus.cross_cluster_bytes() - backbone_before
+    print(f"  cold fetch now crosses the backbone: {crossed} bytes "
+          "(served by the replica in the student's own cluster)")
+    print()
+
+    print("Release 2 is staged in the read-write volume...")
+    operator = campus.login("ws0-0", "operator", "ops")
+    campus.run_op(
+        operator.write_file("/vice/unix/bin/cc",
+                            b"\x7fELF cc release 2 " + b"C" * 45_000)
+    )
+    frozen = campus.server(1).volumes["unix-ro"].read("/bin/cc")
+    print(f"  the frozen replica still serves: {frozen[:22]!r}")
+    rw = campus.server(0).volumes["unix"].read("/bin/cc")
+    print(f"  the read-write volume holds:     {rw[:22]!r}")
+    print()
+
+    print("The operator cuts release 2 over atomically (a fresh clone):")
+    for server in campus.servers:
+        server.volumes.pop("unix-ro", None)  # retire release 1's clones
+    campus.run_op(
+        campus.server(0).release_readonly("unix", ["server0", "server1"])
+    )
+    campus.workstation("ws1-1").venus.invalidate_all()  # simulate later re-fetch
+    data = campus.run_op(student2.read_file("/vice/unix/bin/cc"))
+    print(f"  students now fetch: {data[:22]!r}")
+    print()
+    print("Caching note: replica copies can never go stale, so Venus skips")
+    validations = campus.workstation("ws1-1").venus.validations
+    campus.run_op(student2.read_file("/vice/unix/bin/cc"))
+    print(f"  validation on re-open (validations before/after: "
+          f"{validations}/{campus.workstation('ws1-1').venus.validations})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""User mobility: the paper's §3.2 promise, measured.
+
+"If a user places all his files in the shared name space, he can move to
+any other workstation attached to Vice and use it exactly as he would use
+his own workstation.  The only observable differences are an initial
+performance penalty as the cache on the new workstation is filled with the
+user's working set of files."
+
+A faculty member works in her office (cluster 0), walks to a dormitory
+workstation across campus (cluster 1), and keeps working.  We measure the
+cold-cache penalty and its disappearance.
+
+Run:  python examples/user_mobility.py
+"""
+
+from repro import ITCSystem, SystemConfig
+
+
+WORKING_SET = [f"/vice/usr/prof/paper/section{i}.tex" for i in range(8)]
+
+
+def work_a_little(campus, session):
+    """Edit the paper: read every section, append to one."""
+    start = campus.sim.now
+    for path in WORKING_SET:
+        campus.run_op(session.read_file(path))
+    campus.run_op(session.append_file(WORKING_SET[0], b"% revised\n"))
+    return campus.sim.now - start
+
+
+def main():
+    campus = ITCSystem(SystemConfig(clusters=2, workstations_per_cluster=2))
+    campus.add_user("prof", "tenure")
+    campus.create_user_volume("prof", cluster=0)  # custodian near her office
+
+    office = campus.login("ws0-0", "prof", "tenure")
+    campus.run_op(office.mkdir("/vice/usr/prof/paper"))
+    for path in WORKING_SET:
+        campus.run_op(office.write_file(path, b"\\section{...}\n" * 200))
+
+    print("In the office (ws0-0, same cluster as her custodian):")
+    print(f"  warm session: {work_a_little(campus, office):7.3f}s virtual")
+    print(f"  warm session: {work_a_little(campus, office):7.3f}s virtual")
+    print()
+
+    # She walks across campus. Nothing to carry: her files are in Vice.
+    dorm = office.move_to(campus.workstation("ws1-1"), "tenure")
+    print("At the dormitory (ws1-1, other side of the backbone):")
+    cold = work_a_little(campus, dorm)
+    print(f"  first session (cache filling):  {cold:7.3f}s virtual")
+    warm = work_a_little(campus, dorm)
+    print(f"  second session (cache full):    {warm:7.3f}s virtual")
+    print(f"  initial penalty: {cold / warm:.1f}x, then native speed")
+    print()
+
+    # Both workstations saw the same name space throughout.
+    listing = campus.run_op(dorm.listdir("/vice/usr/prof/paper"))
+    print(f"Same name space everywhere: /vice/usr/prof/paper -> {listing}")
+
+    venus = campus.workstation("ws1-1").venus
+    print(f"Venus at the dormitory now caches {len(venus.cache)} files "
+          f"({venus.cache.used_bytes} bytes) of her working set")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Reproduction of the ITC Distributed File System (Vice/Virtue, SOSP 1985).
+
+A faithful, runnable implementation of the system described in
+Satyanarayanan et al., "The ITC Distributed File System: Principles and
+Design": whole-file caching workstations (Virtue/Venus) over a cluster of
+trusted file servers (Vice), with location-transparent naming, volumes,
+access lists with negative rights, encryption-based mutual authentication,
+and both the 1985 prototype and the revised (proto-AFS-2) implementations.
+
+Quick start::
+
+    from repro import ITCSystem, SystemConfig
+
+    campus = ITCSystem(SystemConfig(clusters=2, workstations_per_cluster=3))
+    campus.add_user("satya", "password")
+    campus.create_user_volume("satya")
+    session = campus.login("ws0-0", "satya", "password")
+    campus.run_op(session.write_file("/vice/usr/satya/notes.txt", b"hello vice"))
+    print(campus.run_op(session.read_file("/vice/usr/satya/notes.txt")))
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the paper's
+evaluation reproduced by the ``benchmarks/`` harness.
+"""
+
+from repro.system.config import SystemConfig
+from repro.system.itc import ITCSystem
+from repro.virtue.session import UserSession
+
+__version__ = "1.0.0"
+
+__all__ = ["ITCSystem", "SystemConfig", "UserSession", "__version__"]

@@ -1,0 +1,184 @@
+"""Command-line front end: ``python -m repro <command>``.
+
+Small, self-contained demonstrations of the reproduced system:
+
+* ``info``     — what this package is and what it contains;
+* ``andrew``   — the §5.2 5-phase benchmark, local vs remote;
+* ``day``      — a synthetic campus day, reporting the §5.2 quantities;
+* ``mobility`` — the cold-cache/warm-cache mobility measurement;
+* ``status``   — a short campus day followed by the operator's dashboard.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import ITCSystem, SystemConfig, __version__
+from repro.analysis import Table, campus_report, format_share
+from repro.workload import (
+    AndrewBenchmark,
+    PHASES,
+    make_source_tree,
+    provision_campus,
+    run_campus_day,
+)
+
+
+def cmd_info(_args) -> int:
+    """Print the package summary."""
+    print(f"repro {__version__} — the ITC Distributed File System (SOSP 1985)")
+    print(__doc__)
+    print("Subpackages: sim, net, crypto, rpc, storage, vice, venus, virtue,")
+    print("             system, workload, analysis")
+    print("See DESIGN.md / EXPERIMENTS.md, and benchmarks/ for the evaluation.")
+    return 0
+
+
+def _andrew_once(mode: str, remote: bool):
+    campus = ITCSystem(
+        SystemConfig(mode=mode, clusters=1, workstations_per_cluster=1,
+                     functional_payload_crypto=False)
+    )
+    campus.add_user("u", "pw")
+    volume = campus.create_user_volume("u")
+    tree = make_source_tree()
+    workstation = campus.workstation(0)
+    session = campus.login(workstation, "u", "pw")
+    if remote:
+        campus.populate(volume, tree, owner="u")
+        bench = AndrewBenchmark(session, "/vice/usr/u/src", "/vice/usr/u/target")
+    else:
+        for path, data in sorted(tree.items()):
+            parts = path.strip("/").split("/")
+            built = ""
+            for part in parts[:-1]:
+                built += "/" + part
+                if not workstation.local_fs.exists(built):
+                    workstation.local_fs.mkdir(built)
+            workstation.local_fs.create(path, data)
+        bench = AndrewBenchmark(session, "/src", "/target")
+    return campus.run_op(bench.run())
+
+
+def cmd_andrew(args) -> int:
+    """Run the 5-phase benchmark."""
+    local = _andrew_once(args.mode, remote=False)
+    remote = _andrew_once(args.mode, remote=True)
+    table = Table(["phase", "local (s)", "remote (s)"],
+                  title=f"5-phase benchmark ({args.mode})")
+    for phase in PHASES:
+        table.add(phase, f"{local.phase_seconds[phase]:.1f}",
+                  f"{remote.phase_seconds[phase]:.1f}")
+    table.add("Total", f"{local.total_seconds:.0f}", f"{remote.total_seconds:.0f}")
+    print(table)
+    print(f"\nremote penalty: +{remote.total_seconds / local.total_seconds - 1:.0%}"
+          f"  (paper, prototype: about +80%)")
+    return 0
+
+
+def cmd_day(args) -> int:
+    """Run a synthetic campus day and report the §5.2 quantities."""
+    campus = ITCSystem(
+        SystemConfig(mode=args.mode, clusters=args.clusters,
+                     workstations_per_cluster=args.workstations,
+                     functional_payload_crypto=False, cache_max_files=200)
+    )
+    users = provision_campus(campus)
+    print(f"running {len(users)} users for {args.hours:.1f}h "
+          f"(+{args.warmup:.1f}h warm-up), mode={args.mode} ...")
+    summary = run_campus_day(
+        campus, users, duration=args.hours * 3600.0, warmup=args.warmup * 3600.0
+    )
+    table = Table(["quantity", "value"], title="campus day summary")
+    table.add("user actions", summary["actions"])
+    table.add("cache hit ratio", format_share(summary["hit_ratio"]))
+    for label, share in sorted(summary["call_mix"].items(), key=lambda kv: -kv[1]):
+        table.add(f"call mix: {label}", format_share(share))
+    table.add("busiest server CPU", format_share(summary["busiest_cpu"]))
+    table.add("busiest server disk", format_share(summary["busiest_disk"]))
+    table.add("CPU peak (short-term)", format_share(summary["busiest_cpu_peak"]))
+    table.add("backbone bytes", summary["cross_cluster_bytes"])
+    print(table)
+    return 0
+
+
+def cmd_mobility(_args) -> int:
+    """Measure the §3.2 mobility penalty."""
+    campus = ITCSystem(SystemConfig(clusters=2, workstations_per_cluster=1))
+    campus.add_user("prof", "pw")
+    campus.create_user_volume("prof", cluster=0)
+    session = campus.login("ws0-0", "prof", "pw")
+    campus.run_op(session.mkdir("/vice/usr/prof/work"))
+    paths = [f"/vice/usr/prof/work/file{i}" for i in range(10)]
+    for path in paths:
+        campus.run_op(session.write_file(path, b"w" * 4000))
+
+    def read_all(active):
+        start = campus.sim.now
+        for path in paths:
+            campus.run_op(active.read_file(path))
+        return campus.sim.now - start
+
+    home = read_all(session)
+    away = session.move_to(campus.workstation("ws1-0"), "pw")
+    cold = read_all(away)
+    warm = read_all(away)
+    table = Table(["session", "10-file working set (s)"], title="user mobility")
+    table.add("home cluster, warm", f"{home:.3f}")
+    table.add("across campus, cold", f"{cold:.3f}")
+    table.add("across campus, warm", f"{warm:.3f}")
+    print(table)
+    print(f"\ninitial penalty {cold / warm:.1f}x, then native speed — §3.2's promise")
+    return 0
+
+
+def cmd_status(args) -> int:
+    """Run a brief campus day, then print the operator's dashboard."""
+    campus = ITCSystem(
+        SystemConfig(mode=args.mode, clusters=2, workstations_per_cluster=4,
+                     functional_payload_crypto=False)
+    )
+    users = provision_campus(campus, hot_files=8, cold_files=8,
+                             shared_files=8, binary_files=6)
+    run_campus_day(campus, users, duration=600.0, warmup=120.0)
+    print(campus_report(campus))
+    return 0
+
+
+def main(argv=None) -> int:
+    """Entry point."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Runnable demonstrations of the ITC DFS reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="package summary").set_defaults(func=cmd_info)
+
+    andrew = sub.add_parser("andrew", help="the 5-phase benchmark")
+    andrew.add_argument("--mode", choices=("prototype", "revised"), default="prototype")
+    andrew.set_defaults(func=cmd_andrew)
+
+    day = sub.add_parser("day", help="a synthetic campus day")
+    day.add_argument("--mode", choices=("prototype", "revised"), default="prototype")
+    day.add_argument("--clusters", type=int, default=1)
+    day.add_argument("--workstations", type=int, default=20)
+    day.add_argument("--hours", type=float, default=1.5)
+    day.add_argument("--warmup", type=float, default=1.5)
+    day.set_defaults(func=cmd_day)
+
+    sub.add_parser("mobility", help="the mobility penalty").set_defaults(
+        func=cmd_mobility
+    )
+
+    status = sub.add_parser("status", help="campus day + operator dashboard")
+    status.add_argument("--mode", choices=("prototype", "revised"), default="revised")
+    status.set_defaults(func=cmd_status)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

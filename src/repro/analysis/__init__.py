@@ -1,0 +1,17 @@
+"""Analysis: result tables, the §3.6 monitoring tools, status dashboard."""
+
+from repro.analysis.dashboard import campus_report, server_report, workstation_report
+from repro.analysis.monitor import CampusMonitor, Recommendation
+from repro.analysis.report import Table, comparison_table, format_seconds, format_share
+
+__all__ = [
+    "CampusMonitor",
+    "Recommendation",
+    "Table",
+    "campus_report",
+    "comparison_table",
+    "format_seconds",
+    "format_share",
+    "server_report",
+    "workstation_report",
+]

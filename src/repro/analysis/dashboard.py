@@ -1,0 +1,113 @@
+"""The operator's campus status report.
+
+§3.6 asks for tools "to ease day-to-day operations of the system"; this is
+the at-a-glance half of that (the trend-watching half is
+:class:`repro.analysis.monitor.CampusMonitor`).  One call renders the whole
+campus: servers with their volumes, load and callback state; workstations
+with their cache health; and the location database's current shape.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.report import Table, format_share
+
+__all__ = ["campus_report", "server_report", "workstation_report"]
+
+
+def server_report(campus, start: float = 0.0) -> Table:
+    """One row per cluster server: storage, load, state."""
+    table = Table(
+        ["server", "volumes", "files", "used MB", "calls", "CPU", "disk",
+         "callbacks held", "locks"],
+        title="Vice servers",
+    )
+    for server in campus.servers:
+        files = sum(volume.file_count for volume in server.volumes.values())
+        used = sum(volume.used_bytes for volume in server.volumes.values())
+        table.add(
+            server.host.name,
+            len(server.volumes),
+            files,
+            f"{used / 1e6:.1f}",
+            server.node.calls_received.total,
+            format_share(server.host.cpu_utilization(start)),
+            format_share(server.host.disk_utilization(start)),
+            server.callbacks.state_size,
+            len(server.locks),
+        )
+    return table
+
+
+def workstation_report(campus) -> Table:
+    """One row per workstation: cache health and traffic."""
+    table = Table(
+        ["workstation", "cached files", "cache KB", "hit ratio", "opens",
+         "fetches", "stores", "breaks rx"],
+        title="Virtue workstations",
+    )
+    for workstation in campus.workstations:
+        venus = workstation.venus
+        table.add(
+            workstation.name,
+            len(venus.cache),
+            venus.cache.used_bytes // 1024,
+            format_share(venus.cache.hit_ratio),
+            venus.opens,
+            venus.fetches,
+            venus.stores,
+            venus.callback_breaks_received,
+        )
+    return table
+
+
+def volume_report(campus) -> Table:
+    """One row per mounted volume: placement and state."""
+    table = Table(
+        ["mount", "volume", "custodian", "replicas", "files", "bytes",
+         "quota", "state"],
+        title="Location database",
+    )
+    location = campus.servers[0].location
+    for entry in location.entries():
+        try:
+            volume = campus.volume(entry.volume_id)
+            state = "online" if volume.online else "OFFLINE"
+            files, used = volume.file_count, volume.used_bytes
+            quota = volume.quota_bytes or "—"
+        except Exception:
+            state, files, used, quota = "missing", "?", "?", "—"
+        table.add(
+            entry.mount_path,
+            entry.volume_id,
+            entry.custodian,
+            ",".join(entry.ro_servers) or "—",
+            files,
+            used,
+            quota,
+            state,
+        )
+    return table
+
+
+def campus_report(campus, start: float = 0.0) -> str:
+    """The full report, ready to print."""
+    sections: List[str] = [
+        f"Campus status at t={campus.sim.now:.1f}s "
+        f"({campus.config.mode} mode, {len(campus.servers)} clusters,"
+        f" {len(campus.workstations)} workstations)",
+        "",
+        str(server_report(campus, start)),
+        "",
+        str(workstation_report(campus)),
+        "",
+        str(volume_report(campus)),
+    ]
+    mix = campus.campus_call_mix()
+    if mix:
+        mix_table = Table(["call category", "share"], title="Campus call mix")
+        for label, share in sorted(mix.items(), key=lambda kv: -kv[1]):
+            mix_table.add(label, format_share(share))
+        sections += ["", str(mix_table)]
+    return "\n".join(sections)

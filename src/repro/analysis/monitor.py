@@ -1,0 +1,150 @@
+"""Monitoring tools (§3.6): access-pattern observation and rebalancing.
+
+"Another area, whose importance we recognize ... is the development of
+monitoring tools.  These tools will be required to ease day-to-day
+operations of the system and also to recognize long-term changes in user
+access patterns and help reassign users to cluster servers so as to balance
+server loads and reduce cross-cluster traffic."  And §3.1: "we may install
+mechanisms in Vice to monitor long-term access file patterns and recommend
+changes to improve performance.  Even then, a human operator will initiate
+the actual reassignment."
+
+:class:`CampusMonitor` reads the traffic counters every server keeps (per
+volume, per originating cluster segment) and produces *recommendations*; a
+human — the example or test driving the simulation — decides whether to
+apply each one via the normal ``move_volume`` protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List
+
+__all__ = ["CampusMonitor", "Recommendation"]
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One suggested custodian reassignment."""
+
+    volume_id: str
+    current_server: str
+    suggested_server: str
+    local_accesses: int
+    remote_accesses: int
+    reason: str
+
+    @property
+    def remote_fraction(self) -> float:
+        total = self.local_accesses + self.remote_accesses
+        return self.remote_accesses / total if total else 0.0
+
+
+class CampusMonitor:
+    """Aggregates every server's volume-traffic counters campus-wide."""
+
+    def __init__(self, campus):
+        self.campus = campus
+
+    # -- observation ---------------------------------------------------------
+
+    def traffic_matrix(self) -> Dict[str, Dict[str, int]]:
+        """volume_id -> {originating segment -> data accesses}."""
+        matrix: Dict[str, Dict[str, int]] = {}
+        for server in self.campus.servers:
+            for label, count in server.volume_traffic.as_dict().items():
+                volume_id, _, segment = label.partition("|")
+                row = matrix.setdefault(volume_id, {})
+                row[segment] = row.get(segment, 0) + count
+        return matrix
+
+    def server_load(self) -> Dict[str, int]:
+        """Total served calls per server (load-balance view)."""
+        return {
+            server.host.name: server.node.calls_received.total
+            for server in self.campus.servers
+        }
+
+    def usage_by_user(self) -> Dict[str, int]:
+        """Bytes of data traffic per user, campus-wide (§3.6 accounting)."""
+        totals: Dict[str, int] = {}
+        for server in self.campus.servers:
+            for user, amount in server.usage_by_user.as_dict().items():
+                totals[user] = totals.get(user, 0) + amount
+        return totals
+
+    # -- recommendation ---------------------------------------------------------
+
+    def _segment_server(self, segment: str) -> str:
+        """The cluster server living on a given segment."""
+        for server in self.campus.servers:
+            if server.host.nic.segment.name == segment:
+                return server.host.name
+        return ""
+
+    def recommendations(
+        self, min_accesses: int = 20, remote_threshold: float = 0.6
+    ) -> List[Recommendation]:
+        """Volumes whose traffic mostly originates in another cluster.
+
+        A volume is flagged when at least ``min_accesses`` data accesses
+        were observed and more than ``remote_threshold`` of them came from
+        one *other* cluster — the "student moved to another dormitory" case
+        of §3.1.
+        """
+        location = self.campus.servers[0].location
+        flagged: List[Recommendation] = []
+        for volume_id, by_segment in self.traffic_matrix().items():
+            if volume_id.endswith("-ro"):
+                continue  # replicas already sit where their readers are
+            total = sum(by_segment.values())
+            if total < min_accesses:
+                continue
+            try:
+                entry = location.entry_for_volume(volume_id)
+            except Exception:
+                continue
+            custodian = entry.custodian
+            home_segment = next(
+                (s.host.nic.segment.name for s in self.campus.servers
+                 if s.host.name == custodian),
+                "",
+            )
+            local = by_segment.get(home_segment, 0)
+            for segment, count in sorted(by_segment.items(), key=lambda kv: -kv[1]):
+                if segment == home_segment:
+                    continue
+                if count / total > remote_threshold:
+                    target = self._segment_server(segment)
+                    if target and target != custodian:
+                        flagged.append(
+                            Recommendation(
+                                volume_id=volume_id,
+                                current_server=custodian,
+                                suggested_server=target,
+                                local_accesses=local,
+                                remote_accesses=count,
+                                reason=(
+                                    f"{count}/{total} data accesses originate in "
+                                    f"{segment}, served from {home_segment}"
+                                ),
+                            )
+                        )
+                break  # only consider the dominant remote segment
+        return flagged
+
+    # -- the human-in-the-loop action -----------------------------------------
+
+    def apply(self, recommendation: Recommendation) -> Generator:
+        """Carry out one reassignment (operator-initiated, §3.1)."""
+        server = self.campus.server(recommendation.current_server)
+        yield from server.move_volume(
+            recommendation.volume_id, recommendation.suggested_server
+        )
+
+    def reset(self) -> None:
+        """Start a fresh observation window."""
+        for server in self.campus.servers:
+            server.volume_traffic = type(server.volume_traffic)(
+                server.volume_traffic.name
+            )

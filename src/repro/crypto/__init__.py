@@ -1,0 +1,19 @@
+"""Encryption substrate: cipher, key derivation, mutual-auth handshake (§3.4)."""
+
+from repro.crypto.cipher import SessionCipher, keystream, mac, seal, unseal
+from repro.crypto.handshake import ClientHandshake, ServerHandshake, fresh_nonce
+from repro.crypto.keys import KEY_BYTES, derive_session_key, derive_user_key
+
+__all__ = [
+    "KEY_BYTES",
+    "ClientHandshake",
+    "ServerHandshake",
+    "SessionCipher",
+    "derive_session_key",
+    "derive_user_key",
+    "fresh_nonce",
+    "keystream",
+    "mac",
+    "seal",
+    "unseal",
+]

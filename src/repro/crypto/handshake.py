@@ -1,0 +1,130 @@
+"""Mutual authentication handshake between mutually suspicious parties.
+
+Paper §3.4: "At connection establishment time, Vice and Virtue are viewed
+as mutually suspicious parties sharing a common encryption key.  This key is
+used in an authentication handshake, at the end of which each party is
+assured of the identity of the other."
+
+The protocol is a classic three-message challenge/response under the shared
+long-term key K (derived from the user's password):
+
+1. client → server : ``username``, ``seal(K, client_nonce)``
+2. server → client : ``seal(K, client_nonce || server_nonce)``
+   (proves the server knows K *and* echoes the fresh client challenge)
+3. client → server : ``seal(K, server_nonce)``
+   (proves the client knows K against the fresh server challenge)
+
+Both sides then derive ``session_key = KDF(K, client_nonce, server_nonce)``.
+The handshake objects are pure protocol state machines — transport and
+virtual-time costs live in :mod:`repro.rpc` — so they can be unit-tested
+byte-for-byte, including wrong-key and replay attacks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Optional, Tuple
+
+from repro.crypto import cipher
+from repro.crypto.keys import derive_session_key
+from repro.errors import AuthenticationFailure, IntegrityError, UnknownPrincipal
+
+__all__ = ["ClientHandshake", "ServerHandshake", "fresh_nonce"]
+
+_NONCE_BYTES = 16
+
+
+def fresh_nonce(seed: bytes) -> bytes:
+    """A deterministic-but-unique nonce derived from caller-supplied entropy.
+
+    The simulation supplies seeds that include the virtual time and a
+    per-connection counter, so nonces never repeat within a run while the
+    whole run stays reproducible.
+    """
+    return hashlib.sha256(b"itc-nonce|" + seed).digest()[:_NONCE_BYTES]
+
+
+class ClientHandshake:
+    """Virtue's side of the handshake, acting for one authenticated user."""
+
+    def __init__(self, username: str, user_key: bytes, entropy: bytes):
+        self.username = username
+        self._key = user_key
+        self._client_nonce = fresh_nonce(entropy + b"|client")
+        self._server_nonce: Optional[bytes] = None
+        self.session_key: Optional[bytes] = None
+
+    def hello(self) -> Tuple[str, bytes]:
+        """Message 1: identify the user and issue the client challenge."""
+        sealed = cipher.seal(self._key, self._client_nonce[:8], self._client_nonce)
+        return self.username, sealed
+
+    def verify_server(self, response: bytes) -> bytes:
+        """Check message 2 and produce message 3.
+
+        Raises :class:`AuthenticationFailure` if the server could not have
+        known the shared key or replayed a stale exchange.
+        """
+        try:
+            plaintext = cipher.unseal(self._key, response)
+        except IntegrityError as exc:
+            raise AuthenticationFailure(f"server response unreadable: {exc}") from exc
+        if len(plaintext) != 2 * _NONCE_BYTES:
+            raise AuthenticationFailure("malformed server response")
+        echoed, server_nonce = plaintext[:_NONCE_BYTES], plaintext[_NONCE_BYTES:]
+        if echoed != self._client_nonce:
+            raise AuthenticationFailure("server failed the freshness challenge (replay?)")
+        self._server_nonce = server_nonce
+        self.session_key = derive_session_key(self._key, self._client_nonce, server_nonce)
+        return cipher.seal(self._key, server_nonce[:8], server_nonce)
+
+
+class ServerHandshake:
+    """Vice's side; looks up the user's key in the authentication database."""
+
+    def __init__(self, key_lookup: Callable[[str], bytes], entropy: bytes):
+        self._key_lookup = key_lookup
+        self._entropy = entropy
+        self._key: Optional[bytes] = None
+        self._client_nonce: Optional[bytes] = None
+        self._server_nonce: Optional[bytes] = None
+        self.username: Optional[str] = None
+        self.session_key: Optional[bytes] = None
+
+    def respond(self, username: str, hello: bytes) -> bytes:
+        """Process message 1, emit message 2.
+
+        An unknown user or an undecipherable challenge both fail — and fail
+        identically from the network's point of view, so an attacker cannot
+        probe for valid usernames by observing error differences.
+        """
+        try:
+            key = self._key_lookup(username)
+        except (KeyError, UnknownPrincipal) as exc:
+            raise AuthenticationFailure("authentication failed") from exc
+        try:
+            client_nonce = cipher.unseal(key, hello)
+        except IntegrityError as exc:
+            raise AuthenticationFailure("authentication failed") from exc
+        if len(client_nonce) != _NONCE_BYTES:
+            raise AuthenticationFailure("authentication failed")
+        self._key = key
+        self.username = username
+        self._client_nonce = client_nonce
+        self._server_nonce = fresh_nonce(self._entropy + b"|server|" + client_nonce)
+        payload = client_nonce + self._server_nonce
+        return cipher.seal(key, self._server_nonce[:8], payload)
+
+    def verify_client(self, confirmation: bytes) -> None:
+        """Check message 3; on success the session key becomes available."""
+        if self._key is None or self._server_nonce is None:
+            raise AuthenticationFailure("handshake out of order")
+        try:
+            echoed = cipher.unseal(self._key, confirmation)
+        except IntegrityError as exc:
+            raise AuthenticationFailure("client failed the freshness challenge") from exc
+        if echoed != self._server_nonce:
+            raise AuthenticationFailure("client failed the freshness challenge")
+        self.session_key = derive_session_key(
+            self._key, self._client_nonce, self._server_nonce
+        )

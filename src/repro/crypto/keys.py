@@ -1,0 +1,37 @@
+"""Key derivation — "the password itself is not transmitted".
+
+Each user's long-term authentication key is derived on the workstation from
+the password the user types (§3.4).  Vice stores the same derived key in its
+(physically secure) authentication database; the password never crosses the
+network in any form, encrypted or not.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["KEY_BYTES", "derive_user_key", "derive_session_key"]
+
+KEY_BYTES = 32
+
+
+def derive_user_key(username: str, password: str) -> bytes:
+    """Derive a user's long-term key from their password.
+
+    The username salts the derivation so two users with the same password
+    hold different keys.
+    """
+    material = b"itc-user-key|" + username.encode() + b"|" + password.encode()
+    return hashlib.sha256(material).digest()[:KEY_BYTES]
+
+
+def derive_session_key(shared_key: bytes, client_nonce: bytes, server_nonce: bytes) -> bytes:
+    """Derive a per-connection session key from the handshake nonces.
+
+    "The final phase of the handshake generates a session key which is used
+    for encrypting all further communication on the connection" — binding
+    both nonces means neither side alone controls the key, and replaying an
+    old handshake yields a different (useless) session key.
+    """
+    material = b"itc-session-key|" + shared_key + b"|" + client_nonce + b"|" + server_nonce
+    return hashlib.sha256(material).digest()[:KEY_BYTES]

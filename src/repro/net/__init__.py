@@ -1,0 +1,14 @@
+"""Campus network substrate: segments, bridges, routing (paper Fig. 2-2)."""
+
+from repro.net.link import Segment
+from repro.net.packet import Datagram, WireFormat
+from repro.net.topology import Bridge, Network, NetworkInterface
+
+__all__ = [
+    "Bridge",
+    "Datagram",
+    "Network",
+    "NetworkInterface",
+    "Segment",
+    "WireFormat",
+]

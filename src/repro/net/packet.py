@@ -1,0 +1,65 @@
+"""Wire-level cost model: packets, frames and transfer sizing.
+
+The network substrate does not simulate individual frames as events (a
+campus day would be billions of them); instead each transfer is costed by
+the exact number of frames it would occupy on an early-1980s Ethernet:
+``ceil(payload / mtu)`` frames, each carrying ``header_bytes`` of protocol
+overhead.  This is what makes the paper's whole-file-vs-page argument
+measurable — a page-at-a-time protocol pays the header and round-trip cost
+once per page, a whole-file transfer amortises it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Datagram", "WireFormat"]
+
+
+@dataclass(frozen=True)
+class WireFormat:
+    """Frame parameters for a LAN segment.
+
+    Defaults approximate the 10 Mb/s Ethernet of the paper's campus:
+    1460-byte maximum payload, 64 bytes of header/trailer/preamble per
+    frame, plus a mandatory inter-frame gap.
+    """
+
+    mtu: int = 1460
+    header_bytes: int = 64
+    interframe_gap_bits: int = 96
+
+    def frames_for(self, payload_bytes: int) -> int:
+        """Number of frames a payload occupies (at least one)."""
+        if payload_bytes <= 0:
+            return 1
+        return math.ceil(payload_bytes / self.mtu)
+
+    def wire_bytes(self, payload_bytes: int) -> int:
+        """Total bytes on the wire including per-frame headers."""
+        return max(0, payload_bytes) + self.frames_for(payload_bytes) * self.header_bytes
+
+    def wire_bits(self, payload_bytes: int) -> int:
+        """Total bits on the wire including headers and inter-frame gaps."""
+        frames = self.frames_for(payload_bytes)
+        return self.wire_bytes(payload_bytes) * 8 + frames * self.interframe_gap_bits
+
+
+@dataclass
+class Datagram:
+    """One logical unit handed to the network: a message plus its size.
+
+    ``payload`` is opaque to the network (the RPC layer puts marshalled
+    call records and file contents in it).  ``payload_bytes`` is the size
+    used for costing; it may exceed ``len(payload)`` when the RPC layer
+    accounts for marshalling overhead.
+    """
+
+    source: str
+    destination: str
+    payload: Any
+    payload_bytes: int
+    hops: int = 0
+    metadata: dict = field(default_factory=dict)

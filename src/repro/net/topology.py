@@ -1,0 +1,199 @@
+"""The campus network: segments, bridges and a uniform address space.
+
+Figure 2-2 of the paper: clusters of 50-100 workstations, each cluster with
+its own Ethernet segment and cluster server, joined by *bridges* to a
+backbone Ethernet.  "All of Vice is logically one network, with the bridges
+providing a uniform network address space for all nodes" — so nodes address
+each other by name and the :class:`Network` does the routing, invisibly to
+the endpoints, exactly as the paper requires.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.net.link import Segment
+from repro.net.packet import Datagram
+from repro.sim.kernel import Simulator
+from repro.sim.resources import Store
+
+__all__ = ["Bridge", "Network", "NetworkInterface"]
+
+
+class NetworkInterface:
+    """A node's attachment point: a named inbox on one segment."""
+
+    def __init__(self, sim: Simulator, node: str, segment: Segment):
+        self.node = node
+        self.segment = segment
+        self.inbox: Store = Store(sim, name=f"nic:{node}")
+
+    def receive(self) -> Any:
+        """Event that fires with the next inbound :class:`Datagram`."""
+        return self.inbox.get()
+
+
+class Bridge:
+    """A store-and-forward router between two segments.
+
+    Bridges add a per-transfer forwarding delay (routing-table lookup and
+    queueing in the bridge's memory) on top of retransmission onto the next
+    segment.
+    """
+
+    def __init__(self, name: str, side_a: Segment, side_b: Segment, forwarding_delay: float = 0.002):
+        self.name = name
+        self.side_a = side_a
+        self.side_b = side_b
+        self.forwarding_delay = forwarding_delay
+        self.transfers_forwarded = 0
+
+    def connects(self, segment: Segment) -> bool:
+        """True if this bridge attaches to ``segment``."""
+        return segment is self.side_a or segment is self.side_b
+
+    def other_side(self, segment: Segment) -> Segment:
+        """The segment on the far side of ``segment``."""
+        if segment is self.side_a:
+            return self.side_b
+        if segment is self.side_b:
+            return self.side_a
+        raise SimulationError(f"bridge {self.name} does not attach to {segment.name}")
+
+
+class Network:
+    """The whole campus internetwork with name-based, location-free addressing."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.segments: Dict[str, Segment] = {}
+        self.bridges: List[Bridge] = []
+        self.interfaces: Dict[str, NetworkInterface] = {}
+        self._route_cache: Dict[Tuple[str, str], List[Segment]] = {}
+        self.partitioned: set = set()  # names of segments currently cut off
+
+    # -- construction -------------------------------------------------------
+
+    def add_segment(self, name: str, **segment_kwargs) -> Segment:
+        """Create and register a LAN segment."""
+        if name in self.segments:
+            raise SimulationError(f"duplicate segment {name!r}")
+        segment = Segment(self.sim, name, **segment_kwargs)
+        self.segments[name] = segment
+        self._route_cache.clear()
+        return segment
+
+    def add_bridge(self, name: str, segment_a: str, segment_b: str, forwarding_delay: float = 0.002) -> Bridge:
+        """Join two segments with a store-and-forward bridge."""
+        bridge = Bridge(name, self.segments[segment_a], self.segments[segment_b], forwarding_delay)
+        self.bridges.append(bridge)
+        self._route_cache.clear()
+        return bridge
+
+    def attach(self, node: str, segment_name: str) -> NetworkInterface:
+        """Attach a named node to a segment; node names are campus-unique."""
+        if node in self.interfaces:
+            raise SimulationError(f"node {node!r} already attached")
+        nic = NetworkInterface(self.sim, node, self.segments[segment_name])
+        self.interfaces[node] = nic
+        return nic
+
+    # -- fault injection -------------------------------------------------------
+
+    def partition(self, segment_name: str) -> None:
+        """Cut a segment off from the rest of the campus (bridge failure)."""
+        self.partitioned.add(segment_name)
+        self._route_cache.clear()
+
+    def heal(self, segment_name: str) -> None:
+        """Restore a previously partitioned segment."""
+        self.partitioned.discard(segment_name)
+        self._route_cache.clear()
+
+    # -- routing --------------------------------------------------------------
+
+    def route(self, src_node: str, dst_node: str) -> List[Segment]:
+        """Ordered segments a transfer crosses from ``src`` to ``dst``.
+
+        Raises :class:`SimulationError` when no path exists (partition).
+        """
+        src_seg = self.interfaces[src_node].segment
+        dst_seg = self.interfaces[dst_node].segment
+        key = (src_seg.name, dst_seg.name)
+        if key in self._route_cache:
+            return self._route_cache[key]
+        path = self._shortest_path(src_seg, dst_seg)
+        if path is None:
+            raise SimulationError(
+                f"no route from {src_node} ({src_seg.name}) to {dst_node} ({dst_seg.name})"
+            )
+        self._route_cache[key] = path
+        return path
+
+    def _shortest_path(self, src: Segment, dst: Segment) -> Optional[List[Segment]]:
+        if src is dst:
+            # A partition is a bridge failure: traffic that never leaves the
+            # segment still flows (the cut-off cluster keeps its own server).
+            return [src]
+        if src.name in self.partitioned or dst.name in self.partitioned:
+            return None
+        frontier = deque([[src]])
+        visited = {src.name}
+        while frontier:
+            path = frontier.popleft()
+            tail = path[-1]
+            for bridge in self.bridges:
+                if not bridge.connects(tail):
+                    continue
+                nxt = bridge.other_side(tail)
+                if nxt.name in visited or nxt.name in self.partitioned:
+                    continue
+                new_path = path + [nxt]
+                if nxt is dst:
+                    return new_path
+                visited.add(nxt.name)
+                frontier.append(new_path)
+        return None
+
+    def bridge_between(self, seg_a: Segment, seg_b: Segment) -> Bridge:
+        """The bridge joining two adjacent segments."""
+        for bridge in self.bridges:
+            if bridge.connects(seg_a) and bridge.connects(seg_b):
+                return bridge
+        raise SimulationError(f"no bridge between {seg_a.name} and {seg_b.name}")
+
+    def hop_count(self, src_node: str, dst_node: str) -> int:
+        """Number of segments crossed (1 = same cluster)."""
+        return len(self.route(src_node, dst_node))
+
+    # -- transfer ---------------------------------------------------------------
+
+    def send(
+        self, datagram: Datagram, kind: str = "data", deliver: bool = True
+    ) -> Generator[Any, Any, None]:
+        """Carry ``datagram`` to its destination and deposit it in the inbox.
+
+        A generator to be driven by a simulation process; completes when the
+        datagram has been delivered.  Crossing each segment serializes on
+        that segment's medium; each bridge adds its forwarding delay.
+        ``deliver=False`` models a datagram lost in flight: it occupies the
+        wire but never reaches the destination inbox.
+        """
+        path = self.route(datagram.source, datagram.destination)
+        previous = None
+        for segment in path:
+            if previous is not None:
+                bridge = self.bridge_between(previous, segment)
+                bridge.transfers_forwarded += 1
+                yield self.sim.timeout(bridge.forwarding_delay)
+            yield from segment.transmit(datagram.payload_bytes, kind=kind)
+            previous = segment
+        datagram.hops = len(path)
+        if deliver:
+            self.interfaces[datagram.destination].inbox.put(datagram)
+
+    def total_bytes_on(self, segment_name: str) -> int:
+        """Wire bytes carried by a segment so far (for traffic experiments)."""
+        return self.segments[segment_name].bytes_carried

@@ -1,0 +1,15 @@
+"""RPC package: authenticated, encrypted calls with whole-file side effects."""
+
+from repro.rpc.connection import Connection
+from repro.rpc.costs import EncryptionMode, RpcCosts
+from repro.rpc.messages import Envelope, Kind
+from repro.rpc.node import RpcNode
+
+__all__ = [
+    "Connection",
+    "EncryptionMode",
+    "Envelope",
+    "Kind",
+    "RpcCosts",
+    "RpcNode",
+]

@@ -1,0 +1,82 @@
+"""Connection state shared by the two ends of an authenticated RPC channel.
+
+"After mutual authentication Vice and Virtue communicate only via encrypted
+messages" — a :class:`Connection` holds the session key produced by the
+handshake and one :class:`~repro.crypto.cipher.SessionCipher` per direction.
+Connections are *bidirectional*: Venus calls Vice for fetch/store, and Vice
+calls back over the same channel to break callbacks in the revised design.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.crypto.cipher import SessionCipher, unseal
+from repro.errors import NotAuthenticated
+from repro.rpc.costs import EncryptionMode
+
+__all__ = ["Connection"]
+
+
+class Connection:
+    """One authenticated channel between a client node and a server node."""
+
+    def __init__(
+        self,
+        connection_id: str,
+        client_name: str,
+        server_name: str,
+        username: str,
+        encryption: str,
+    ):
+        self.connection_id = connection_id
+        self.client_name = client_name
+        self.server_name = server_name
+        self.username = username
+        self.encryption = encryption
+        self.session_key: Optional[bytes] = None
+        self._ciphers = {}
+        self.established = False
+        self.closed = False
+        self.calls_made = 0
+
+    def peer_of(self, node_name: str) -> str:
+        """The other endpoint's node name."""
+        return self.server_name if node_name == self.client_name else self.client_name
+
+    def establish(self, session_key: bytes) -> None:
+        """Install the session key negotiated by the handshake."""
+        self.session_key = session_key
+        self._ciphers = {
+            self.client_name: SessionCipher(session_key, direction=0),
+            self.server_name: SessionCipher(session_key, direction=1),
+        }
+        self.established = True
+
+    def encrypt(self, sender_name: str, plaintext: bytes) -> bytes:
+        """Seal bytes for the wire (identity when encryption is off)."""
+        if self.encryption == EncryptionMode.NONE:
+            return plaintext
+        if not self.established:
+            raise NotAuthenticated(f"connection {self.connection_id} not established")
+        return self._ciphers[sender_name].encrypt(plaintext)
+
+    def decrypt(self, sealed: bytes) -> bytes:
+        """Open bytes from the wire (identity when encryption is off)."""
+        if self.encryption == EncryptionMode.NONE:
+            return sealed
+        if not self.established:
+            raise NotAuthenticated(f"connection {self.connection_id} not established")
+        return unseal(self.session_key, sealed)
+
+    def close(self) -> None:
+        """Tear the connection down; further calls are rejected."""
+        self.closed = True
+        self.established = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "established" if self.established else "pending"
+        return (
+            f"<Connection {self.connection_id} {self.client_name}->"
+            f"{self.server_name} user={self.username} {state}>"
+        )

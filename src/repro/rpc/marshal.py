@@ -1,0 +1,146 @@
+"""A small self-describing binary marshalling format (the system's "XDR").
+
+RPC arguments and results really are serialized to bytes and parsed back —
+the encrypted connection carries these bytes, so tests can demonstrate that
+an eavesdropper on the LAN sees only ciphertext while the endpoints see
+structured values.
+
+Supported types: ``None``, ``bool``, ``int``, ``float``, ``str``, ``bytes``,
+``list``, ``tuple`` (decoded as list) and ``dict`` with ``str`` keys.  Each
+value is a one-byte tag followed by a fixed or length-prefixed body.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Tuple
+
+from repro.errors import ReproError
+
+__all__ = ["MarshalError", "dumps", "loads", "wire_size"]
+
+_TAG_NONE = b"N"
+_TAG_TRUE = b"T"
+_TAG_FALSE = b"F"
+_TAG_INT = b"I"
+_TAG_FLOAT = b"D"
+_TAG_STR = b"S"
+_TAG_BYTES = b"B"
+_TAG_LIST = b"L"
+_TAG_DICT = b"M"
+
+
+class MarshalError(ReproError):
+    """Unsupported type or corrupt buffer."""
+
+
+def dumps(value: Any) -> bytes:
+    """Serialize ``value`` to bytes."""
+    out = bytearray()
+    _encode(value, out)
+    return bytes(out)
+
+
+def _encode(value: Any, out: bytearray) -> None:
+    if value is None:
+        out += _TAG_NONE
+    elif value is True:
+        out += _TAG_TRUE
+    elif value is False:
+        out += _TAG_FALSE
+    elif isinstance(value, int):
+        out += _TAG_INT
+        out += struct.pack(">q", value)
+    elif isinstance(value, float):
+        out += _TAG_FLOAT
+        out += struct.pack(">d", value)
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out += _TAG_STR
+        out += struct.pack(">I", len(raw))
+        out += raw
+    elif isinstance(value, (bytes, bytearray)):
+        out += _TAG_BYTES
+        out += struct.pack(">I", len(value))
+        out += bytes(value)
+    elif isinstance(value, (list, tuple)):
+        out += _TAG_LIST
+        out += struct.pack(">I", len(value))
+        for item in value:
+            _encode(item, out)
+    elif isinstance(value, dict):
+        out += _TAG_DICT
+        out += struct.pack(">I", len(value))
+        for key in value:
+            if not isinstance(key, str):
+                raise MarshalError(f"dict keys must be str, got {type(key).__name__}")
+            _encode(key, out)
+            _encode(value[key], out)
+    else:
+        raise MarshalError(f"cannot marshal {type(value).__name__}")
+
+
+def loads(data: bytes) -> Any:
+    """Parse bytes produced by :func:`dumps` back into a value."""
+    value, offset = _decode(data, 0)
+    if offset != len(data):
+        raise MarshalError(f"{len(data) - offset} trailing bytes after value")
+    return value
+
+
+def _decode(data: bytes, offset: int) -> Tuple[Any, int]:
+    if offset >= len(data):
+        raise MarshalError("truncated buffer")
+    tag = data[offset:offset + 1]
+    offset += 1
+    if tag == _TAG_NONE:
+        return None, offset
+    if tag == _TAG_TRUE:
+        return True, offset
+    if tag == _TAG_FALSE:
+        return False, offset
+    if tag == _TAG_INT:
+        return _unpack(">q", data, offset, 8)
+    if tag == _TAG_FLOAT:
+        return _unpack(">d", data, offset, 8)
+    if tag == _TAG_STR:
+        length, offset = _unpack(">I", data, offset, 4)
+        _check(data, offset, length)
+        return data[offset:offset + length].decode("utf-8"), offset + length
+    if tag == _TAG_BYTES:
+        length, offset = _unpack(">I", data, offset, 4)
+        _check(data, offset, length)
+        return data[offset:offset + length], offset + length
+    if tag == _TAG_LIST:
+        length, offset = _unpack(">I", data, offset, 4)
+        items = []
+        for _ in range(length):
+            item, offset = _decode(data, offset)
+            items.append(item)
+        return items, offset
+    if tag == _TAG_DICT:
+        length, offset = _unpack(">I", data, offset, 4)
+        result = {}
+        for _ in range(length):
+            key, offset = _decode(data, offset)
+            if not isinstance(key, str):
+                raise MarshalError("corrupt dict key")
+            value, offset = _decode(data, offset)
+            result[key] = value
+        return result, offset
+    raise MarshalError(f"unknown tag {tag!r}")
+
+
+def _unpack(fmt: str, data: bytes, offset: int, size: int):
+    _check(data, offset, size)
+    return struct.unpack_from(fmt, data, offset)[0], offset + size
+
+
+def _check(data: bytes, offset: int, length: int) -> None:
+    if offset + length > len(data):
+        raise MarshalError("truncated buffer")
+
+
+def wire_size(value: Any) -> int:
+    """Marshalled size in bytes without materialising the buffer twice."""
+    return len(dumps(value))

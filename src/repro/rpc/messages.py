@@ -1,0 +1,108 @@
+"""RPC wire messages.
+
+An :class:`Envelope` is what actually crosses the network inside a
+:class:`repro.net.packet.Datagram`.  The ``body`` (procedure name, arguments
+or results, marshalled by :mod:`repro.rpc.marshal`) is sealed under the
+connection's session key; the ``payload`` carries whole-file data — the
+paper's "whole-file transfer is a particular kind of side-effect" — and is
+likewise protected.
+
+Errors travel as marshalled dictionaries with an ``__error__`` tag and are
+re-raised as the proper exception class on the caller's side, so Vice
+referrals like :class:`~repro.errors.NotCustodian` work transparently
+across the wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from repro import errors
+from repro.rpc import marshal
+
+__all__ = ["Envelope", "Kind", "encode_error", "decode_error", "maybe_raise"]
+
+
+class Kind:
+    """Envelope discriminators."""
+
+    HS_HELLO = "hs1"  # client -> server: username + sealed client nonce
+    HS_CHALLENGE = "hs2"  # server -> client: sealed nonce echo + server nonce
+    HS_CONFIRM = "hs3"  # client -> server: sealed server-nonce echo
+    HS_OK = "hs_ok"  # server -> client: connection accepted
+    HS_FAIL = "hs_fail"  # server -> client: authentication refused
+    CALL = "call"
+    REPLY = "reply"
+    BUSY = "busy"  # server is still executing this (conn, seq): keep waiting
+
+
+@dataclass
+class Envelope:
+    """One RPC-layer message."""
+
+    kind: str
+    connection_id: str
+    seq: int = 0
+    body: bytes = b""
+    payload: bytes = b""
+    # Cleartext fields used before a session key exists (handshake only).
+    username: str = ""
+    note: str = ""
+
+    def wire_bytes(self, envelope_overhead: int) -> int:
+        """Size on the wire: headers + body + payload."""
+        return (
+            envelope_overhead
+            + len(self.body)
+            + len(self.payload)
+            + len(self.username)
+            + len(self.note)
+        )
+
+
+# -- error transport ----------------------------------------------------------
+
+_RAISABLE = {
+    name: cls
+    for name, cls in vars(errors).items()
+    if isinstance(cls, type) and issubclass(cls, errors.ReproError)
+}
+
+
+def encode_error(exc: Exception) -> Dict[str, Any]:
+    """Marshalable record of a library exception."""
+    record: Dict[str, Any] = {
+        "__error__": type(exc).__name__,
+        "message": str(exc),
+    }
+    hint = getattr(exc, "custodian_hint", None)
+    if hint is not None:
+        record["custodian_hint"] = hint
+    return record
+
+
+def decode_error(record: Dict[str, Any]) -> Exception:
+    """Reconstruct the exception a server handler raised."""
+    name = record.get("__error__", "ViceError")
+    cls = _RAISABLE.get(name, errors.ViceError)
+    if name == "NotCustodian":
+        return errors.NotCustodian(record.get("custodian_hint"))
+    return cls(record.get("message", ""))
+
+
+def maybe_raise(result: Any) -> Any:
+    """Raise if ``result`` is an error record; otherwise pass it through."""
+    if isinstance(result, dict) and "__error__" in result:
+        raise decode_error(result)
+    return result
+
+
+def encode_body(procedure: str, args: Dict[str, Any]) -> bytes:
+    """Marshal a call body."""
+    return marshal.dumps({"proc": procedure, "args": args})
+
+
+def decode_body(body: bytes) -> Any:
+    """Unmarshal a call or reply body."""
+    return marshal.loads(body)

@@ -1,0 +1,21 @@
+"""Discrete-event simulation substrate (clock, processes, resources, metrics)."""
+
+from repro.sim.kernel import Condition, Event, Process, Simulator, Timeout
+from repro.sim.metrics import Counter, Samples, UtilizationTracker
+from repro.sim.rand import WorkloadRandom
+from repro.sim.resources import Request, Resource, Store
+
+__all__ = [
+    "Condition",
+    "Counter",
+    "Event",
+    "Process",
+    "Request",
+    "Resource",
+    "Samples",
+    "Simulator",
+    "Store",
+    "Timeout",
+    "UtilizationTracker",
+    "WorkloadRandom",
+]

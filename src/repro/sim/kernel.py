@@ -1,0 +1,339 @@
+"""Discrete-event simulation kernel.
+
+The whole reproduction runs on this kernel: Venus, the Vice servers, the
+network and the synthetic users are all :class:`Process` instances advancing
+a shared virtual clock.  The design is deliberately close to SimPy's proven
+generator-process model, specialised to what the ITC system needs:
+
+* :class:`Event` — a one-shot occurrence that processes can wait on.
+* :class:`Timeout` — an event that fires after a virtual delay.
+* :class:`Process` — a Python generator driven by the kernel; ``yield``\\ ing
+  an event suspends the process until the event fires.
+* :class:`Condition` — conjunction/disjunction of events (``all_of`` /
+  ``any_of``).
+* :class:`Simulator` — the event heap and clock.
+
+Virtual time is a ``float`` in **seconds**; the paper's quantities (a 1000 s
+benchmark, 8-hour utilization windows) are all naturally expressed in it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from repro.errors import Interrupt, SimulationError
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "Condition",
+    "Simulator",
+]
+
+
+class Event:
+    """A one-shot occurrence in virtual time.
+
+    An event starts *pending*; it is *triggered* exactly once via
+    :meth:`succeed` or :meth:`fail`, after which the kernel runs its
+    callbacks (typically resuming waiting processes) at the current instant.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exc", "_triggered", "_defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._triggered = False
+        self._defused = False
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._triggered and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        """The success value, or raises the failure exception."""
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._triggered = True
+        self._value = value
+        self.sim._schedule(self, 0.0)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event as failed; waiters get ``exc`` thrown in."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exc, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._triggered = True
+        self._exc = exc
+        self.sim._schedule(self, 0.0)
+        return self
+
+    def defuse(self) -> "Event":
+        """Mark a failure as handled even if no process waits on the event."""
+        self._defused = True
+        return self
+
+    # -- internal ---------------------------------------------------------
+
+    def _process(self) -> None:
+        """Run callbacks; called by the kernel when the event fires."""
+        callbacks, self.callbacks = self.callbacks, None
+        if self._exc is not None and not callbacks and not self._defused:
+            self.sim._orphan_failures.append(self)
+        for callback in callbacks or ():
+            self._defused = True
+            callback(self)
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Attach ``callback``; runs immediately if already processed."""
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self._triggered else "pending"
+        return f"<{type(self).__name__} {state} at t={self.sim.now:.6f}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` seconds of virtual time from creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        sim._schedule(self, delay)
+
+
+class _Initialize(Event):
+    """Internal event that starts a process at the instant it was created."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", process: "Process"):
+        super().__init__(sim)
+        self._triggered = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        sim._schedule(self, 0.0)
+
+
+class Process(Event):
+    """A generator-based simulated process.
+
+    A process is itself an event that fires when the generator finishes;
+    the event's value is the generator's return value.  Processes may be
+    interrupted, which raises :class:`~repro.errors.Interrupt` inside the
+    generator at its current yield point.
+    """
+
+    __slots__ = ("generator", "_waiting_on", "name")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        if not hasattr(generator, "send"):
+            raise SimulationError(f"Process requires a generator, got {generator!r}")
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        _Initialize(sim, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its yield point."""
+        if self._triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        target = self._waiting_on
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        interrupt_event = Event(self.sim)
+        interrupt_event.callbacks.append(self._resume)
+        interrupt_event.fail(Interrupt(cause))
+
+    # -- internal ---------------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        if self._triggered:
+            return  # a stale wakeup after an interrupt already finished us
+        self._waiting_on = None
+        try:
+            while True:
+                if event._exc is not None:
+                    target = self.generator.throw(event._exc)
+                else:
+                    target = self.generator.send(event._value)
+                if not isinstance(target, Event):
+                    raise SimulationError(
+                        f"process {self.name!r} yielded non-event {target!r}"
+                    )
+                if target.sim is not self.sim:
+                    raise SimulationError(
+                        f"process {self.name!r} yielded event from another simulator"
+                    )
+                if target.callbacks is None:
+                    # Already processed: deliver its outcome synchronously.
+                    event = target
+                    continue
+                target.callbacks.append(self._resume)
+                self._waiting_on = target
+                return
+        except StopIteration as stop:
+            self.succeed(stop.value)
+        except BaseException as exc:
+            self.fail(exc)
+
+
+class Condition(Event):
+    """Waits for a quorum of ``events``; ``count=len`` is all-of, 1 is any-of.
+
+    Succeeds with the list of already-triggered constituent events, in their
+    original order.  Fails as soon as any constituent fails.
+    """
+
+    __slots__ = ("events", "_needed")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event], count: Optional[int] = None):
+        super().__init__(sim)
+        self.events = list(events)
+        if count is None:
+            count = len(self.events)
+        if count > len(self.events):
+            raise SimulationError("condition requires more events than supplied")
+        self._needed = count
+        if self._needed == 0:
+            self.succeed([])
+            return
+        for event in self.events:
+            event.add_callback(self._check)
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._exc is not None:
+            self.fail(event._exc)
+            return
+        self._needed -= 1
+        if self._needed == 0:
+            self.succeed([e for e in self.events if e._triggered])
+
+
+class Simulator:
+    """The event heap, virtual clock and process factory."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: List = []
+        self._sequence = 0
+        self._orphan_failures: List[Event] = []
+
+    # -- factories ----------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start ``generator`` as a process; returns its completion event."""
+        return Process(self, generator, name)
+
+    def all_of(self, events: Iterable[Event]) -> Condition:
+        """Event that fires when every event in ``events`` has fired."""
+        return Condition(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> Condition:
+        """Event that fires when at least one event in ``events`` has fired."""
+        return Condition(self, events, count=1)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float) -> None:
+        self._sequence += 1
+        heapq.heappush(self._heap, (self.now + delay, self._sequence, event))
+
+    def step(self) -> None:
+        """Process the single next event; raises orphaned process failures."""
+        when, _seq, event = heapq.heappop(self._heap)
+        self.now = when
+        event._process()
+        if self._orphan_failures:
+            orphan = self._orphan_failures.pop()
+            self._orphan_failures.clear()
+            raise orphan._exc
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap empties or the clock passes ``until``."""
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self.now = until
+                return
+            self.step()
+        if until is not None and self.now < until:
+            self.now = until
+
+    def run_until_complete(self, event: Event, limit: float = float("inf")) -> Any:
+        """Run until ``event`` fires; returns its value or raises its failure.
+
+        This is the synchronous facade used by examples and tests: wrap one
+        foreground operation in a process and drive the world until it is
+        done.  ``limit`` bounds runaway simulations.
+        """
+        event.defuse()
+        while not event.processed:
+            if not self._heap:
+                raise SimulationError(
+                    f"event heap drained at t={self.now} before event fired"
+                )
+            if self._heap[0][0] > limit:
+                raise SimulationError(f"simulation exceeded time limit {limit}")
+            self.step()
+        return event.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator t={self.now:.6f} pending={len(self._heap)}>"

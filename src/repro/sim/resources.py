@@ -1,0 +1,153 @@
+"""Contended resources for the simulation kernel.
+
+Two primitives cover every queueing point in the ITC system:
+
+* :class:`Resource` — a FIFO server pool with fixed capacity.  Server CPUs,
+  disks and network links are ``Resource(capacity=1)``; the utilization
+  integral each resource keeps is exactly what the paper's §5.2 utilization
+  figures measure.
+* :class:`Store` — an unbounded producer/consumer queue, used for NIC input
+  queues and for handing requests to server worker processes.
+
+Both integrate with :mod:`repro.sim.metrics` so benches can report mean and
+windowed (short-term peak) utilization without extra plumbing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, List
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Event, Simulator
+from repro.sim.metrics import UtilizationTracker
+
+__all__ = ["Request", "Resource", "Store"]
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource`; fires when capacity is granted."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.sim)
+        self.resource = resource
+
+
+class Resource:
+    """A fixed-capacity FIFO resource (CPU, disk arm, link, lock...).
+
+    Usage from inside a process::
+
+        request = resource.request()
+        yield request
+        try:
+            yield sim.timeout(service_time)
+        finally:
+            resource.release(request)
+
+    or, for the common acquire-hold-release pattern::
+
+        yield from resource.use(service_time)
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._queue: Deque[Request] = deque()
+        self._users: List[Request] = []
+        self.utilization = UtilizationTracker(sim, capacity=capacity, name=name)
+        self.total_requests = 0
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently granted claims."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of claims waiting for capacity."""
+        return len(self._queue)
+
+    def request(self) -> Request:
+        """Claim one unit of capacity; the returned event fires when granted."""
+        self.total_requests += 1
+        request = Request(self)
+        if len(self._users) < self.capacity:
+            self._grant(request)
+        else:
+            self._queue.append(request)
+        return request
+
+    def release(self, request: Request) -> None:
+        """Return a previously granted claim and wake the next waiter."""
+        try:
+            self._users.remove(request)
+        except ValueError:
+            # A cancelled (never-granted) request may be withdrawn instead.
+            try:
+                self._queue.remove(request)
+                return
+            except ValueError:
+                raise SimulationError("release of a request this resource never granted")
+        self.utilization.record(len(self._users))
+        while self._queue and len(self._users) < self.capacity:
+            self._grant(self._queue.popleft())
+
+    def use(self, duration: float) -> Generator[Event, Any, None]:
+        """Acquire, hold for ``duration`` seconds of virtual time, release."""
+        request = self.request()
+        yield request
+        try:
+            yield self.sim.timeout(duration)
+        finally:
+            self.release(request)
+
+    def _grant(self, request: Request) -> None:
+        self._users.append(request)
+        self.utilization.record(len(self._users))
+        request.succeed(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Resource {self.name or id(self)} {self.in_use}/{self.capacity}"
+            f" queued={self.queue_length}>"
+        )
+
+
+class Store:
+    """An unbounded FIFO handoff queue between producer and consumer processes."""
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self.total_put = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item``; wakes the oldest waiting consumer, if any."""
+        self.total_put += 1
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Event that fires with the next item (immediately if one is queued)."""
+        event = Event(self.sim)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Store {self.name or id(self)} items={len(self._items)} waiters={len(self._getters)}>"

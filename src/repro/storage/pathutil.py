@@ -1,0 +1,75 @@
+"""Path manipulation for the Unix-like name spaces.
+
+All paths in the system are Unix-style, absolute or relative, with ``/`` as
+the separator.  These helpers are deliberately tiny and pure so both Virtue
+(workstation name space) and Vice (shared name space) resolve names with
+identical rules.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import InvalidArgument
+
+__all__ = ["components", "dirname", "basename", "join", "normalize", "split", "is_abs"]
+
+
+def is_abs(path: str) -> bool:
+    """True for absolute paths."""
+    return path.startswith("/")
+
+
+def components(path: str) -> List[str]:
+    """The non-empty, non-'.' components of ``path``; '..' is preserved."""
+    if not isinstance(path, str) or path == "":
+        raise InvalidArgument(f"invalid path {path!r}")
+    return [part for part in path.split("/") if part not in ("", ".")]
+
+
+def normalize(path: str) -> str:
+    """Canonical absolute form, resolving '.' and '..' lexically."""
+    if not is_abs(path):
+        raise InvalidArgument(f"expected absolute path, got {path!r}")
+    stack: List[str] = []
+    for part in components(path):
+        if part == "..":
+            if stack:
+                stack.pop()
+        else:
+            stack.append(part)
+    return "/" + "/".join(stack)
+
+
+def join(*parts: str) -> str:
+    """Join path fragments; a later absolute fragment restarts the path."""
+    if not parts:
+        raise InvalidArgument("join requires at least one part")
+    result = parts[0]
+    for part in parts[1:]:
+        if is_abs(part):
+            result = part
+        elif result.endswith("/"):
+            result = result + part
+        else:
+            result = result + "/" + part
+    return result
+
+
+def split(path: str) -> Tuple[str, str]:
+    """``(dirname, basename)``; the root splits to ``("/", "")``."""
+    norm = normalize(path) if is_abs(path) else path
+    if norm == "/":
+        return "/", ""
+    head, _, tail = norm.rpartition("/")
+    return (head or "/", tail)
+
+
+def dirname(path: str) -> str:
+    """Parent directory of ``path``."""
+    return split(path)[0]
+
+
+def basename(path: str) -> str:
+    """Final component of ``path``."""
+    return split(path)[1]

@@ -1,0 +1,23 @@
+"""System assembly: configuration, topology, calibration, the ITC facade."""
+
+from repro.system.calibration import (
+    ANDREW_LOCAL_TARGET_SECONDS,
+    ANDREW_REMOTE_PENALTY_TARGET,
+    CALL_MIX_TARGET,
+    HIT_RATIO_TARGET,
+    SERVER_CPU_TARGET,
+    SERVER_DISK_TARGET,
+)
+from repro.system.config import SystemConfig
+from repro.system.itc import ITCSystem
+
+__all__ = [
+    "ANDREW_LOCAL_TARGET_SECONDS",
+    "ANDREW_REMOTE_PENALTY_TARGET",
+    "CALL_MIX_TARGET",
+    "HIT_RATIO_TARGET",
+    "ITCSystem",
+    "SERVER_CPU_TARGET",
+    "SERVER_DISK_TARGET",
+    "SystemConfig",
+]

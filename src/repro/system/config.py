@@ -1,0 +1,84 @@
+"""System-level configuration.
+
+One :class:`SystemConfig` describes an entire campus deployment: which of
+the paper's two implementations to run, the cluster topology, hardware
+speeds and security settings.  The defaults model the prototype-era
+deployment unit — a cluster of ~20 workstations per server (§5.2's
+operating point) — scaled down to sizes a laptop simulates quickly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.rpc.costs import EncryptionMode, RpcCosts
+from repro.vice.costs import ViceCosts
+from repro.venus.venus import VenusCosts
+
+__all__ = ["SystemConfig"]
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Everything needed to build an :class:`~repro.system.itc.ITCSystem`."""
+
+    # Which implementation (see repro.vice.server.ViceServer's table).
+    mode: str = "revised"
+    # Cache-validation policy; None derives the mode's default
+    # (prototype -> check-on-open, revised -> callback).
+    validation: Optional[str] = None
+
+    # Topology (Fig. 2-2): clusters on a backbone, one server per cluster.
+    clusters: int = 2
+    workstations_per_cluster: int = 5
+
+    # Hardware. Cluster servers were bigger machines than workstations.
+    server_cpu_speed: float = 2.0
+    workstation_cpu_speed: float = 1.0
+    backbone_bandwidth_bps: float = 10_000_000.0
+    cluster_bandwidth_bps: float = 10_000_000.0
+
+    # Security.
+    encryption: str = EncryptionMode.HARDWARE
+    # Actually run the cipher over file payloads (demonstrably secure but
+    # Python-expensive); long synthetic runs turn this off and keep only
+    # the virtual-time charge.
+    functional_payload_crypto: bool = True
+
+    # Venus cache.
+    cache_max_files: int = 500
+    cache_max_bytes: int = 20_000_000
+    # Store-through policy: "on-close" (the paper's choice) or "deferred"
+    # (the §3.2 alternative, kept for the ablation bench).
+    write_policy: str = "on-close"
+    flush_delay: float = 30.0
+
+    # Prototype Unix limits: per-client server processes.
+    max_server_processes: Optional[int] = 64
+
+    # Cost-model overrides (None -> the mode's calibrated defaults).
+    rpc_costs: Optional[RpcCosts] = None
+    vice_costs: Optional[ViceCosts] = None
+    venus_costs: Optional[VenusCosts] = None
+
+    seed: int = 0
+
+    def with_(self, **changes) -> "SystemConfig":
+        """A copy with selected fields replaced."""
+        return replace(self, **changes)
+
+    @classmethod
+    def prototype(cls, **overrides) -> "SystemConfig":
+        """The 1985 prototype configuration."""
+        return cls(mode="prototype", **overrides)
+
+    @classmethod
+    def revised(cls, **overrides) -> "SystemConfig":
+        """The revised (post-§5.3) configuration."""
+        return cls(mode="revised", **overrides)
+
+    @property
+    def total_workstations(self) -> int:
+        """Workstation count across all clusters."""
+        return self.clusters * self.workstations_per_cluster

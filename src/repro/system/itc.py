@@ -1,0 +1,283 @@
+"""The front door: an entire ITC campus in one object.
+
+:class:`ITCSystem` assembles the network, cluster servers and workstations
+from a :class:`~repro.system.config.SystemConfig`, and offers:
+
+* **setup-time administration** — create users, groups and volumes before
+  the simulated day begins (the equivalent of the operations staff priming
+  the system); these calls mutate the master databases and synchronise all
+  server replicas instantaneously;
+* **runtime operations** — everything else goes through the real protocol:
+  ``run_op`` drives any workstation/server generator to completion while
+  the rest of the campus keeps running;
+* **measurement** — the §5.2 numbers (busiest-server utilization, campus
+  call mix, mean hit ratio) read directly off the components.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.crypto.keys import derive_user_key
+from repro.errors import InvalidArgument
+from repro.sim.kernel import Simulator
+from repro.sim.rand import WorkloadRandom
+from repro.storage import pathutil
+from repro.system.config import SystemConfig
+from repro.system.topology import (
+    build_network,
+    build_servers,
+    build_workstations,
+    server_name,
+)
+from repro.vice.protection import AccessList
+from repro.vice.server import ViceServer
+from repro.vice.volume import Volume
+from repro.virtue.session import UserSession
+from repro.virtue.workstation import Workstation
+
+__all__ = ["ITCSystem"]
+
+_ROOT_VOLUME = "root"
+
+
+class ITCSystem:
+    """A whole simulated campus: Vice, Virtue, and the wires between."""
+
+    def __init__(self, config: Optional[SystemConfig] = None):
+        self.config = config or SystemConfig()
+        self.sim = Simulator()
+        self.rng = WorkloadRandom(self.config.seed)
+        self.service_key = derive_user_key("vice", "itc-internal-service-key")
+        self.network = build_network(self.sim, self.config)
+        self.servers: List[ViceServer] = build_servers(
+            self.sim, self.network, self.config, self.service_key
+        )
+        self.workstations: List[Workstation] = build_workstations(
+            self.sim, self.network, self.config
+        )
+        self._ws_by_name = {ws.name: ws for ws in self.workstations}
+        self._server_by_name = {s.host.name: s for s in self.servers}
+        self._volume_counter = 0
+
+        # Master copies of the replicated databases; setup-time mutations
+        # apply here and are pushed to every server replica.
+        self._location_master = self.servers[0].location
+        self._protection_master = self.servers[0].protection
+        self._protection_master.add_user("vice", self.service_key)
+
+        root = Volume(_ROOT_VOLUME, "vice root", clock=lambda: self.sim.now)
+        self.servers[0].add_volume(root)
+        self._location_master.add("/", _ROOT_VOLUME, self.servers[0].host.name)
+        self.sync_databases()
+
+    # ==================================================================
+    # lookups
+    # ==================================================================
+
+    def workstation(self, name_or_index) -> Workstation:
+        """A workstation by name ("ws0-1") or by flat index."""
+        if isinstance(name_or_index, int):
+            return self.workstations[name_or_index]
+        return self._ws_by_name[name_or_index]
+
+    def server(self, name_or_index) -> ViceServer:
+        """A cluster server by name ("server0") or cluster index."""
+        if isinstance(name_or_index, int):
+            return self._server_by_name[server_name(name_or_index)]
+        return self._server_by_name[name_or_index]
+
+    def volume(self, volume_id: str) -> Volume:
+        """A volume object wherever it currently lives."""
+        for server in self.servers:
+            if volume_id in server.volumes:
+                return server.volumes[volume_id]
+        raise InvalidArgument(f"volume {volume_id!r} not found on any server")
+
+    # ==================================================================
+    # setup-time administration
+    # ==================================================================
+
+    def sync_databases(self) -> None:
+        """Copy the master location/protection databases to every replica."""
+        location = self._location_master.snapshot()
+        protection = self._protection_master.snapshot()
+        for server in self.servers:
+            if server.location is not self._location_master:
+                server.location.load_snapshot(location)
+            if server.protection is not self._protection_master:
+                server.protection.load_snapshot(protection)
+
+    def add_user(self, username: str, password: str) -> bytes:
+        """Register a user campus-wide; returns their derived key."""
+        key = derive_user_key(username, password)
+        self._protection_master.add_user(username, key)
+        self.sync_databases()
+        return key
+
+    def add_group(self, group: str, members: Optional[List[str]] = None) -> None:
+        """Create a group and optionally populate it."""
+        self._protection_master.add_group(group)
+        for member in members or []:
+            self._protection_master.add_member(group, member)
+        self.sync_databases()
+
+    def add_member(self, group: str, member: str) -> None:
+        """Add a user or group to a group."""
+        self._protection_master.add_member(group, member)
+        self.sync_databases()
+
+    def create_volume(
+        self,
+        mount_path: str,
+        custodian=0,
+        volume_id: Optional[str] = None,
+        owner: str = "system:administrators",
+        quota_bytes: Optional[int] = None,
+    ) -> Volume:
+        """Create and mount a volume; stub directories appear in the parent.
+
+        The prototype represented mounts as "stub directories in the Vice
+        file storage structure"; we keep that so directory listings show
+        mounted subtrees.
+        """
+        server = self.server(custodian) if not isinstance(custodian, ViceServer) else custodian
+        mount_path = pathutil.normalize(mount_path)
+        if volume_id is None:
+            self._volume_counter += 1
+            volume_id = f"vol{self._volume_counter}"
+        volume = Volume(
+            volume_id,
+            mount_path.strip("/").replace("/", ".") or "root",
+            clock=lambda: self.sim.now,
+            quota_bytes=quota_bytes,
+            owner=owner,
+        )
+        if owner != "system:administrators":
+            acl = volume.acls[volume.fs.root.number]
+            acl.grant(owner, "rwidlak")
+        server.add_volume(volume)
+        self._make_stub_dirs(mount_path)
+        self._location_master.add(mount_path, volume_id, server.host.name)
+        self.sync_databases()
+        return volume
+
+    def _make_stub_dirs(self, mount_path: str) -> None:
+        if mount_path == "/":
+            return
+        entry, _rest = self._location_master.resolve(pathutil.dirname(mount_path))
+        parent_volume = self.volume(entry.volume_id)
+        relative = (
+            mount_path[len(entry.mount_path):] if entry.mount_path != "/" else mount_path
+        )
+        built = ""
+        for part in pathutil.components(relative):
+            built = built + "/" + part
+            if not parent_volume.fs.exists(built):
+                parent_volume.mkdir(built)
+
+    def create_user_volume(self, username: str, cluster: int = 0, quota_bytes=None) -> Volume:
+        """A user's home subtree at ``/usr/<name>``, custodian in ``cluster``.
+
+        "A faculty member's files, for instance, would be assigned to the
+        custodian which is in the same cluster as the workstation in his
+        office."
+        """
+        return self.create_volume(
+            f"/usr/{username}",
+            custodian=cluster,
+            volume_id=f"u-{username}",
+            owner=username,
+            quota_bytes=quota_bytes,
+        )
+
+    def populate(self, volume: Volume, tree: Dict[str, bytes], owner: str = "system:administrators") -> None:
+        """Pre-load files into a volume (setup-time content, no protocol)."""
+        for path, data in sorted(tree.items()):
+            path = pathutil.normalize(path)
+            parent = pathutil.dirname(path)
+            if not volume.fs.exists(parent):
+                parts = pathutil.components(parent)
+                built = ""
+                for part in parts:
+                    built += "/" + part
+                    if not volume.fs.exists(built):
+                        volume.mkdir(built, owner=owner)
+            volume.write(path, data, owner=owner)
+
+    def set_directory_acl(self, volume: Volume, path: str, acl: AccessList) -> None:
+        """Setup-time ACL assignment on a directory inside a volume."""
+        inode = volume.resolve(path)
+        volume.acls[inode.number] = acl
+
+    # ==================================================================
+    # runtime driving
+    # ==================================================================
+
+    def login(self, ws, username: str, password: str) -> UserSession:
+        """A session for ``username`` at a workstation (name, index or object)."""
+        workstation = ws if isinstance(ws, Workstation) else self.workstation(ws)
+        return UserSession(workstation, username, password)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Advance the whole campus."""
+        self.sim.run(until=until)
+
+    def run_op(self, generator: Generator, limit: float = 1e9) -> Any:
+        """Drive one operation to completion; returns its value."""
+        return self.sim.run_until_complete(self.sim.process(generator), limit=limit)
+
+    # ==================================================================
+    # measurement (the §5.2 numbers)
+    # ==================================================================
+
+    def reset_counters(self) -> None:
+        """Zero the call-mix and cache counters (end of a warm-up phase).
+
+        Utilization integrals are windowed by ``start=`` instead, so they
+        need no reset.
+        """
+        for server in self.servers:
+            server.call_mix = type(server.call_mix)(server.call_mix.name)
+            server.node.calls_received = type(server.node.calls_received)(
+                server.node.calls_received.name
+            )
+        for workstation in self.workstations:
+            cache = workstation.venus.cache
+            cache.hits = 0
+            cache.misses = 0
+            cache.evictions = 0
+            workstation.venus.validations = 0
+            workstation.venus.fetches = 0
+            workstation.venus.stores = 0
+
+    def busiest_server(self, start: float = 0.0, end=None) -> Tuple[ViceServer, float]:
+        """The server with the highest mean CPU utilization over the window."""
+        best = max(self.servers, key=lambda s: s.host.cpu_utilization(start, end))
+        return best, best.host.cpu_utilization(start, end)
+
+    def campus_call_mix(self) -> Dict[str, float]:
+        """Call-category shares summed over all servers (EXP-1)."""
+        totals: Dict[str, int] = {}
+        for server in self.servers:
+            for label, count in server.call_mix.as_dict().items():
+                totals[label] = totals.get(label, 0) + count
+        grand = sum(totals.values())
+        return {k: v / grand for k, v in sorted(totals.items())} if grand else {}
+
+    def mean_hit_ratio(self) -> float:
+        """Open-weighted Venus cache hit ratio across all workstations."""
+        hits = sum(ws.venus.cache.hits for ws in self.workstations)
+        misses = sum(ws.venus.cache.misses for ws in self.workstations)
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def cross_cluster_bytes(self) -> int:
+        """Wire bytes that crossed the backbone (locality measure)."""
+        return self.network.total_bytes_on("backbone")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ITCSystem {self.config.mode} clusters={self.config.clusters}"
+            f" workstations={len(self.workstations)}>"
+        )

@@ -1,0 +1,7 @@
+"""Venus: the workstation cache manager (whole-file caching, §3.2/§3.5.1)."""
+
+from repro.venus.cache import CacheEntry, WholeFileCache
+from repro.venus.hints import MountHints
+from repro.venus.venus import Venus, VenusCosts
+
+__all__ = ["CacheEntry", "MountHints", "Venus", "VenusCosts", "WholeFileCache"]

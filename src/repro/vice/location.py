@@ -1,0 +1,155 @@
+"""The replicated location database: mapping files to custodians.
+
+Paper §3.1: "Each cluster server contains a complete copy of a location
+database that maps files to Custodians... The size of the replicated
+location database is relatively small because custodianship is on a subtree
+basis."  Entries map a *mount path* in the shared name space to the volume
+stored there, its custodian server, and any read-only replica sites.
+
+The database changes slowly (subtree reassignment is an administrative,
+human-initiated act), which is why full replication at every server is
+tenable; :class:`repro.vice.server.ViceServer` propagates updates to all
+replicas and the affected volume is offline during a move.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import FileNotFound, InvalidArgument
+from repro.storage import pathutil
+
+__all__ = ["LocationDatabase", "LocationEntry"]
+
+
+@dataclass
+class LocationEntry:
+    """One custodianship assignment: a subtree and who stores it."""
+
+    mount_path: str
+    volume_id: str
+    custodian: str
+    ro_servers: List[str] = field(default_factory=list)
+
+    def as_dict(self) -> Dict:
+        """Marshal-friendly form."""
+        return {
+            "mount_path": self.mount_path,
+            "volume_id": self.volume_id,
+            "custodian": self.custodian,
+            "ro_servers": list(self.ro_servers),
+        }
+
+    @classmethod
+    def from_dict(cls, record: Dict) -> "LocationEntry":
+        """Inverse of :meth:`as_dict`."""
+        return cls(
+            mount_path=record["mount_path"],
+            volume_id=record["volume_id"],
+            custodian=record["custodian"],
+            ro_servers=list(record.get("ro_servers", [])),
+        )
+
+
+class LocationDatabase:
+    """One replica of the campus-wide location map."""
+
+    def __init__(self):
+        self._by_path: Dict[str, LocationEntry] = {}
+        self._by_volume: Dict[str, LocationEntry] = {}
+        self.version = 0
+
+    def __len__(self) -> int:
+        return len(self._by_path)
+
+    def add(
+        self,
+        mount_path: str,
+        volume_id: str,
+        custodian: str,
+        ro_servers: Optional[List[str]] = None,
+    ) -> LocationEntry:
+        """Record a custodianship assignment."""
+        mount_path = pathutil.normalize(mount_path)
+        if mount_path in self._by_path:
+            raise InvalidArgument(f"mount path {mount_path!r} already assigned")
+        if volume_id in self._by_volume:
+            raise InvalidArgument(f"volume {volume_id!r} already mounted")
+        entry = LocationEntry(mount_path, volume_id, custodian, list(ro_servers or []))
+        self._by_path[mount_path] = entry
+        self._by_volume[volume_id] = entry
+        self.version += 1
+        return entry
+
+    def remove(self, mount_path: str) -> None:
+        """Drop an assignment (volume deletion)."""
+        entry = self._by_path.pop(pathutil.normalize(mount_path), None)
+        if entry is None:
+            raise FileNotFound(mount_path)
+        del self._by_volume[entry.volume_id]
+        self.version += 1
+
+    def resolve(self, vice_path: str) -> Tuple[LocationEntry, str]:
+        """Longest-prefix match: ``(entry, path relative to the mount)``.
+
+        ``vice_path`` is a path in the shared name space (no ``/vice``
+        prefix — that is Virtue's mount point, invisible to Vice).
+        """
+        path = pathutil.normalize(vice_path)
+        candidate = path
+        while True:
+            entry = self._by_path.get(candidate)
+            if entry is not None:
+                rest = path[len(candidate):] if candidate != "/" else path
+                return entry, rest or "/"
+            if candidate == "/":
+                raise FileNotFound(f"no custodian for {vice_path!r}")
+            candidate = pathutil.dirname(candidate)
+
+    def entry_for_volume(self, volume_id: str) -> LocationEntry:
+        """The assignment holding ``volume_id``."""
+        try:
+            return self._by_volume[volume_id]
+        except KeyError:
+            raise FileNotFound(f"volume {volume_id!r} not mounted")
+
+    def custodian_of(self, vice_path: str) -> str:
+        """Convenience: the custodian server name for a path."""
+        return self.resolve(vice_path)[0].custodian
+
+    def reassign(self, volume_id: str, new_custodian: str) -> None:
+        """Point an assignment at a different server (volume move)."""
+        entry = self.entry_for_volume(volume_id)
+        entry.custodian = new_custodian
+        self.version += 1
+
+    def set_ro_servers(self, volume_id: str, ro_servers: List[str]) -> None:
+        """Update the read-only replica placement for a volume."""
+        entry = self.entry_for_volume(volume_id)
+        entry.ro_servers = list(ro_servers)
+        self.version += 1
+
+    def entries(self) -> List[LocationEntry]:
+        """All assignments, sorted by mount path."""
+        return [self._by_path[p] for p in sorted(self._by_path)]
+
+    def snapshot(self) -> Dict:
+        """Marshal-friendly full copy for replica synchronisation."""
+        return {
+            "version": self.version,
+            "entries": [e.as_dict() for e in self.entries()],
+        }
+
+    def load_snapshot(self, snapshot: Dict) -> None:
+        """Replace local state with a replica snapshot."""
+        self._by_path.clear()
+        self._by_volume.clear()
+        for record in snapshot["entries"]:
+            entry = LocationEntry.from_dict(record)
+            self._by_path[entry.mount_path] = entry
+            self._by_volume[entry.volume_id] = entry
+        self.version = snapshot["version"]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<LocationDatabase entries={len(self)} v{self.version}>"

@@ -1,0 +1,89 @@
+"""Advisory single-writer/multi-reader locks (§3.6).
+
+"Vice provides primitives for single-writer/multi-reader locking.  Such
+locking is advisory in nature" — nothing in the fetch/store path consults
+the lock table; cooperating applications must all ask.
+
+In the prototype "there is a single lock server process which serializes
+requests and maintains lock tables in its virtual memory"; the server layer
+models that by routing lock calls through a dedicated serialisation
+resource in prototype mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+from repro.errors import LockConflict
+
+__all__ = ["LockTable"]
+
+
+@dataclass
+class _LockState:
+    readers: Set[str] = field(default_factory=set)
+    writer: str = ""
+
+
+class LockTable:
+    """Single-writer/multi-reader advisory locks keyed by fid or path."""
+
+    def __init__(self):
+        self._locks: Dict[str, _LockState] = {}
+        self.conflicts = 0
+
+    def acquire(self, key: str, owner: str, exclusive: bool) -> None:
+        """Take a lock; raises :class:`LockConflict` if incompatible.
+
+        ``owner`` identifies the locker (user@workstation).  Lock requests
+        are not queued — the paper's interface returns failure and the
+        application retries — so there is nothing to deadlock on.
+        """
+        state = self._locks.setdefault(key, _LockState())
+        if exclusive:
+            if state.writer and state.writer != owner:
+                self.conflicts += 1
+                raise LockConflict(f"{key} is write-locked by {state.writer}")
+            if state.readers - {owner}:
+                self.conflicts += 1
+                raise LockConflict(f"{key} has active readers")
+            state.readers.discard(owner)
+            state.writer = owner
+        else:
+            if state.writer and state.writer != owner:
+                self.conflicts += 1
+                raise LockConflict(f"{key} is write-locked by {state.writer}")
+            state.readers.add(owner)
+
+    def release(self, key: str, owner: str) -> None:
+        """Release whatever ``owner`` holds on ``key`` (idempotent)."""
+        state = self._locks.get(key)
+        if state is None:
+            return
+        state.readers.discard(owner)
+        if state.writer == owner:
+            state.writer = ""
+        if not state.readers and not state.writer:
+            del self._locks[key]
+
+    def release_all(self, owner: str) -> None:
+        """Drop every lock held by ``owner`` (workstation crash recovery)."""
+        for key in list(self._locks):
+            self.release(key, owner)
+
+    def holders(self, key: str) -> Dict[str, str]:
+        """Current holders: name -> "read" / "write"."""
+        state = self._locks.get(key)
+        if state is None:
+            return {}
+        result = {reader: "read" for reader in state.readers}
+        if state.writer:
+            result[state.writer] = "write"
+        return result
+
+    def __len__(self) -> int:
+        return len(self._locks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<LockTable locked={len(self)} conflicts={self.conflicts}>"

@@ -1,0 +1,231 @@
+"""The protection domain: users, recursive groups, ACLs and negative rights.
+
+Paper §3.4: entries on an access list come from a protection domain of
+*Users* and *Groups*; groups may contain other groups recursively (modelled
+on Grapevine's registration database).  A user's rights on an object are
+
+    union of rights of every group in the user's CPS
+    minus the union of the negative rights of the CPS,
+
+where the *Current Protection Subdomain* (CPS) is the user plus every group
+the user belongs to directly or transitively.  Negative rights exist for
+rapid revocation: rescinding membership in a replicated database is slow,
+but adding a negative entry at one site is immediate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+
+from repro.errors import UnknownPrincipal
+
+__all__ = ["AccessList", "ProtectionDatabase", "Rights"]
+
+
+class Rights:
+    """The rights a Vice directory ACL can grant (AFS's classic seven)."""
+
+    READ = "r"  # fetch files and read their status
+    WRITE = "w"  # store (overwrite) existing files
+    INSERT = "i"  # create new directory entries
+    DELETE = "d"  # remove directory entries
+    LOOKUP = "l"  # list the directory and stat entries
+    ADMINISTER = "a"  # modify the access list
+    LOCK = "k"  # set advisory locks
+
+    ALL: FrozenSet[str] = frozenset("rwidlak")
+    READ_ONLY: FrozenSet[str] = frozenset("rl")
+
+    @classmethod
+    def parse(cls, spec: str) -> FrozenSet[str]:
+        """Parse a rights string like ``"rliw"``; validates every letter."""
+        rights = frozenset(spec)
+        unknown = rights - cls.ALL
+        if unknown:
+            raise ValueError(f"unknown rights {''.join(sorted(unknown))!r}")
+        return rights
+
+
+class AccessList:
+    """Positive and negative entries mapping principal name -> rights set.
+
+    Attached to directories ("the protected entities are directories, and
+    all files within a directory have the same protection status").
+    """
+
+    def __init__(self):
+        self.positive: Dict[str, FrozenSet[str]] = {}
+        self.negative: Dict[str, FrozenSet[str]] = {}
+
+    def grant(self, principal: str, rights: str) -> None:
+        """Add (or extend) a positive entry."""
+        parsed = Rights.parse(rights)
+        self.positive[principal] = self.positive.get(principal, frozenset()) | parsed
+
+    def deny(self, principal: str, rights: str) -> None:
+        """Add (or extend) a negative entry — the rapid-revocation mechanism."""
+        parsed = Rights.parse(rights)
+        self.negative[principal] = self.negative.get(principal, frozenset()) | parsed
+
+    def drop(self, principal: str) -> None:
+        """Remove both entries for a principal."""
+        self.positive.pop(principal, None)
+        self.negative.pop(principal, None)
+
+    def effective_rights(self, cps: Iterable[str]) -> FrozenSet[str]:
+        """Rights for a caller whose CPS is ``cps`` (positives minus negatives)."""
+        granted: Set[str] = set()
+        revoked: Set[str] = set()
+        for principal in cps:
+            granted |= self.positive.get(principal, frozenset())
+            revoked |= self.negative.get(principal, frozenset())
+        return frozenset(granted - revoked)
+
+    def copy(self) -> "AccessList":
+        """An independent copy (used when cloning volumes)."""
+        duplicate = AccessList()
+        duplicate.positive = dict(self.positive)
+        duplicate.negative = dict(self.negative)
+        return duplicate
+
+    def as_dict(self) -> Dict[str, Dict[str, str]]:
+        """Marshal-friendly representation."""
+        return {
+            "positive": {p: "".join(sorted(r)) for p, r in self.positive.items()},
+            "negative": {p: "".join(sorted(r)) for p, r in self.negative.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, Dict[str, str]]) -> "AccessList":
+        """Inverse of :meth:`as_dict`."""
+        acl = cls()
+        for principal, rights in record.get("positive", {}).items():
+            acl.grant(principal, rights)
+        for principal, rights in record.get("negative", {}).items():
+            acl.deny(principal, rights)
+        return acl
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<AccessList +{len(self.positive)} -{len(self.negative)}>"
+
+
+class ProtectionDatabase:
+    """Users and recursively nested groups, with CPS computation.
+
+    One logical database, "replicated at each cluster server"; replication
+    is coordinated by :class:`repro.vice.protserver.ProtectionServer`.
+    ``version`` increments on every mutation so replicas can be compared.
+    """
+
+    SYSTEM_ANYUSER = "system:anyuser"
+
+    def __init__(self):
+        self.users: Set[str] = set()
+        self.groups: Dict[str, Set[str]] = {self.SYSTEM_ANYUSER: set()}
+        self.user_keys: Dict[str, bytes] = {}
+        self.version = 0
+
+    # -- principals ---------------------------------------------------------
+
+    def add_user(self, username: str, key: Optional[bytes] = None) -> None:
+        """Register a user (idempotent); optionally set their long-term key."""
+        self.users.add(username)
+        if key is not None:
+            self.user_keys[username] = key
+        self.version += 1
+
+    def remove_user(self, username: str) -> None:
+        """Delete a user and scrub them from every group."""
+        if username not in self.users:
+            raise UnknownPrincipal(username)
+        self.users.discard(username)
+        self.user_keys.pop(username, None)
+        for members in self.groups.values():
+            members.discard(username)
+        self.version += 1
+
+    def add_group(self, group: str) -> None:
+        """Create an empty group (idempotent)."""
+        self.groups.setdefault(group, set())
+        self.version += 1
+
+    def remove_group(self, group: str) -> None:
+        """Delete a group and scrub it from containing groups."""
+        if group not in self.groups:
+            raise UnknownPrincipal(group)
+        del self.groups[group]
+        for members in self.groups.values():
+            members.discard(group)
+        self.version += 1
+
+    def add_member(self, group: str, member: str) -> None:
+        """Add a user or group to a group."""
+        if group not in self.groups:
+            raise UnknownPrincipal(group)
+        if member not in self.users and member not in self.groups:
+            raise UnknownPrincipal(member)
+        self.groups[group].add(member)
+        self.version += 1
+
+    def remove_member(self, group: str, member: str) -> None:
+        """Remove a direct member from a group."""
+        if group not in self.groups:
+            raise UnknownPrincipal(group)
+        self.groups[group].discard(member)
+        self.version += 1
+
+    def is_user(self, name: str) -> bool:
+        """True if ``name`` names a registered user."""
+        return name in self.users
+
+    def user_key(self, username: str) -> bytes:
+        """The user's long-term authentication key (for the handshake)."""
+        try:
+            return self.user_keys[username]
+        except KeyError:
+            raise UnknownPrincipal(username)
+
+    # -- CPS -----------------------------------------------------------------
+
+    def cps(self, username: str) -> FrozenSet[str]:
+        """The Current Protection Subdomain of a user.
+
+        The user, every group reachable by following membership edges
+        upward (direct or indirect), and the implicit ``system:anyuser``.
+        """
+        if username not in self.users:
+            raise UnknownPrincipal(username)
+        reachable: Set[str] = {username, self.SYSTEM_ANYUSER}
+        frontier: List[str] = [username]
+        while frontier:
+            current = frontier.pop()
+            for group, members in self.groups.items():
+                if current in members and group not in reachable:
+                    reachable.add(group)
+                    frontier.append(group)
+        return frozenset(reachable)
+
+    def rights_on(self, acl: AccessList, username: str) -> FrozenSet[str]:
+        """Effective rights of ``username`` on an object guarded by ``acl``."""
+        return acl.effective_rights(self.cps(username))
+
+    # -- replication support --------------------------------------------------
+
+    def snapshot(self) -> Dict:
+        """A deep, marshal-friendly snapshot for replica synchronisation."""
+        return {
+            "users": sorted(self.users),
+            "groups": {g: sorted(m) for g, m in self.groups.items()},
+            "user_keys": dict(self.user_keys),
+            "version": self.version,
+        }
+
+    def load_snapshot(self, snapshot: Dict) -> None:
+        """Replace local state with a replica snapshot."""
+        self.users = set(snapshot["users"])
+        self.groups = {g: set(m) for g, m in snapshot["groups"].items()}
+        self.user_keys = dict(snapshot["user_keys"])
+        self.version = snapshot["version"]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ProtectionDatabase users={len(self.users)} groups={len(self.groups)} v{self.version}>"

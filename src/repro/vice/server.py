@@ -1,0 +1,371 @@
+"""A Vice cluster server.
+
+One :class:`ViceServer` per cluster (Fig. 2-2): it stores the volumes it is
+custodian for (plus read-only replicas), answers the file protocol of
+:mod:`repro.vice.fileserver`, and holds full replicas of the location and
+protection databases.
+
+``mode`` selects the paper's two implementations end to end:
+
+====================  ============================  =========================
+aspect                ``"prototype"``               ``"revised"``
+====================  ============================  =========================
+server structure      per-client Unix processes     single process with LWPs
+transport             reliable byte stream          datagrams
+path traversal        on the server, per call       on Venus, fid calls
+status storage        `.admin` file on disk         in-memory vnode cache
+cache validation      check-on-open (default)       callbacks (default)
+dir rename, symlink   refused                       supported
+lock service          dedicated lock process        shared lock table
+====================  ============================  =========================
+
+Administrative operations (volume move, read-only release, database sync)
+are generators run as simulation processes; they use the same authenticated
+RPC fabric as everything else, under the internal ``vice`` principal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from repro.errors import FileNotFound, InvalidArgument, NotCustodian, ViceError
+from repro.hosts import Host
+from repro.rpc import marshal
+from repro.rpc.connection import Connection
+from repro.rpc.costs import EncryptionMode, RpcCosts
+from repro.rpc.node import RpcNode
+from repro.sim.metrics import Counter
+from repro.sim.resources import Resource
+from repro.vice.callbacks import CallbackRegistry
+from repro.vice.costs import ViceCosts
+from repro.vice.fileserver import SERVICE_PRINCIPAL, FileService
+from repro.vice.location import LocationDatabase, LocationEntry
+from repro.vice.locks import LockTable
+from repro.vice.protection import ProtectionDatabase
+from repro.vice.volume import Volume
+
+__all__ = ["ViceServer"]
+
+
+class ViceServer:
+    """One cluster server: storage, protocol, and replicated databases."""
+
+    def __init__(
+        self,
+        host: Host,
+        mode: str = "revised",
+        validation_mode: Optional[str] = None,
+        costs: Optional[ViceCosts] = None,
+        rpc_costs: Optional[RpcCosts] = None,
+        encryption: str = EncryptionMode.HARDWARE,
+        service_key: bytes = b"\x00" * 32,
+        max_server_processes: Optional[int] = None,
+        functional_payload_crypto: bool = True,
+    ):
+        if mode not in ("prototype", "revised"):
+            raise InvalidArgument(f"unknown server mode {mode!r}")
+        self.host = host
+        self.sim = host.sim
+        self.mode = mode
+        self.validation_mode = validation_mode or (
+            "check-on-open" if mode == "prototype" else "callback"
+        )
+        if self.validation_mode not in ("check-on-open", "callback"):
+            raise InvalidArgument(f"unknown validation mode {self.validation_mode!r}")
+        self.costs = costs or (
+            ViceCosts.prototype() if mode == "prototype" else ViceCosts.revised()
+        )
+        self.service_key = service_key
+
+        self.protection = ProtectionDatabase()
+        self.location = LocationDatabase()
+        self.volumes: Dict[str, Volume] = {}
+        self.callbacks = CallbackRegistry()
+        self.locks = LockTable()
+        self.all_servers: List[str] = [host.name]
+        self._lock_process = (
+            Resource(self.sim, capacity=1, name=f"lockserver:{host.name}")
+            if mode == "prototype"
+            else None
+        )
+
+        self.node = RpcNode(
+            host,
+            costs=rpc_costs,
+            transport="stream" if mode == "prototype" else "datagram",
+            server_mode="process" if mode == "prototype" else "lwp",
+            encryption=encryption,
+            auth_key_lookup=self._lookup_key,
+            max_server_processes=max_server_processes,
+            functional_payload_crypto=functional_payload_crypto,
+        )
+        self.call_mix = Counter(f"vice-mix:{host.name}")
+        # §3.6 monitoring hooks: where each volume's data traffic comes
+        # from (for custodian-reassignment recommendations), and per-user
+        # resource usage (tracked but not charged — "free resources" until
+        # accounting is convincingly needed).
+        self.volume_traffic = Counter(f"volume-traffic:{host.name}")
+        self.usage_by_user = Counter(f"usage:{host.name}")
+        self._peer_connections: Dict[str, Connection] = {}
+        self._vnode_locks: Dict[str, Resource] = {}
+
+        FileService(self).register_all()
+        self.node.register("SyncLocation", self._sync_location_handler)
+        self.node.register("SyncProtection", self._sync_protection_handler)
+        self.node.register("ReceiveVolume", self._receive_volume_handler)
+        self.node.register("DropVolume", self._drop_volume_handler)
+
+    # ------------------------------------------------------------------
+    # authentication
+    # ------------------------------------------------------------------
+
+    def _lookup_key(self, username: str) -> bytes:
+        if username == SERVICE_PRINCIPAL:
+            return self.service_key
+        return self.protection.user_key(username)
+
+    # ------------------------------------------------------------------
+    # volume lookup used by the file service
+    # ------------------------------------------------------------------
+
+    def volume_for_entry(self, entry: LocationEntry, want_write: bool) -> Volume:
+        """This server's copy for a location entry, or a custodian referral."""
+        if entry.custodian == self.host.name:
+            volume = self.volumes.get(entry.volume_id)
+            if volume is not None:
+                return volume
+        if not want_write and self.host.name in entry.ro_servers:
+            replica = self.volumes.get(entry.volume_id + "-ro")
+            if replica is not None:
+                return replica
+        raise NotCustodian(entry.custodian)
+
+    def volume_by_id(self, volume_id: str, want_write: bool) -> Volume:
+        """Resolve a fid's volume component at this server."""
+        volume = self.volumes.get(volume_id)
+        if volume is not None:
+            return volume
+        base = volume_id[:-3] if volume_id.endswith("-ro") else volume_id
+        entry = self.location.entry_for_volume(base)
+        raise NotCustodian(entry.custodian)
+
+    # ------------------------------------------------------------------
+    # local administration (pre-simulation setup)
+    # ------------------------------------------------------------------
+
+    def add_volume(self, volume: Volume) -> None:
+        """Attach a volume to this server's storage."""
+        self.volumes[volume.volume_id] = volume
+
+    def vnode_guard(self, fid: str) -> Generator:
+        """Serialise fetch/store on one file, like holding the vnode lock.
+
+        This is what guarantees §3.6 action consistency: "a workstation
+        which fetches a file at the same time that another workstation is
+        storing it will either receive the old version or the new one, but
+        never a partially modified version" — and, with callbacks, that a
+        promise registered by a fetch cannot silently survive a concurrent
+        store.  Usage: ``guard = yield from server.vnode_guard(fid)`` then
+        ``server.vnode_release(fid, guard)`` in a ``finally``.
+        """
+        lock = self._vnode_locks.get(fid)
+        if lock is None:
+            lock = Resource(self.sim, capacity=1, name=f"vnode:{fid}")
+            self._vnode_locks[fid] = lock
+        request = lock.request()
+        yield request
+        return request
+
+    def vnode_release(self, fid: str, request) -> None:
+        """Release a :meth:`vnode_guard` claim (drops idle locks)."""
+        lock = self._vnode_locks.get(fid)
+        if lock is None:
+            return
+        lock.release(request)
+        if lock.in_use == 0 and lock.queue_length == 0:
+            del self._vnode_locks[fid]
+
+    def lock_serialization(self) -> Generator:
+        """Prototype lock calls serialise through the dedicated lock process."""
+        if self._lock_process is None:
+            return
+        request = self._lock_process.request()
+        yield request
+        try:
+            # Crossing into the lock server process and back: two switches.
+            yield from self.host.compute(2 * self.node.costs.context_switch_cpu)
+        finally:
+            self._lock_process.release(request)
+
+    # ------------------------------------------------------------------
+    # server-to-server fabric
+    # ------------------------------------------------------------------
+
+    def peer(self, server_name: str) -> Generator[None, None, Connection]:
+        """An authenticated connection to another server (cached)."""
+        conn = self._peer_connections.get(server_name)
+        if conn is not None and conn.established and not conn.closed:
+            return conn
+        conn = yield from self.node.connect(server_name, SERVICE_PRINCIPAL, self.service_key)
+        self._peer_connections[server_name] = conn
+        return conn
+
+    def _require_service(self, conn: Connection) -> None:
+        if conn.username != SERVICE_PRINCIPAL:
+            raise ViceError("administrative call from a non-Vice principal")
+
+    def _sync_location_handler(self, conn: Connection, args, payload):
+        """Install a location-database snapshot pushed by a peer."""
+        self._require_service(conn)
+        yield from self.host.compute(0.005)
+        if args["snapshot"]["version"] > self.location.version:
+            self.location.load_snapshot(args["snapshot"])
+        return {"version": self.location.version}, b""
+
+    def _sync_protection_handler(self, conn: Connection, args, payload):
+        """Install a protection-database snapshot pushed by a peer."""
+        self._require_service(conn)
+        yield from self.host.compute(0.005)
+        if args["snapshot"]["version"] > self.protection.version:
+            self.protection.load_snapshot(args["snapshot"])
+        return {"version": self.protection.version}, b""
+
+    def _receive_volume_handler(self, conn: Connection, args, payload):
+        """Accept a volume shipped by a peer (move or replica placement)."""
+        self._require_service(conn)
+        snapshot = marshal.loads(payload)
+        yield from self.host.compute(0.010 + len(payload) * self.costs.per_byte_cpu)
+        yield from self.host.disk.access(len(payload), write=True, sequential=True)
+        volume = Volume.from_snapshot(snapshot, clock=lambda: self.sim.now)
+        self.add_volume(volume)
+        return {"volume_id": volume.volume_id}, b""
+
+    def _drop_volume_handler(self, conn: Connection, args, payload):
+        """Discard a local volume copy (the tail end of a move)."""
+        self._require_service(conn)
+        yield from self.host.compute(0.005)
+        self.volumes.pop(args["volume_id"], None)
+        return {"ok": True}, b""
+
+    # ------------------------------------------------------------------
+    # distributed administration (run as simulation processes)
+    # ------------------------------------------------------------------
+
+    def broadcast_location(self) -> Generator:
+        """Push this server's location database to every other server.
+
+        "Changing the location database is relatively expensive because it
+        involves updating all the cluster servers in the system."
+        """
+        snapshot = self.location.snapshot()
+        for name in self.all_servers:
+            if name == self.host.name:
+                continue
+            conn = yield from self.peer(name)
+            yield from self.node.call(conn, "SyncLocation", {"snapshot": snapshot})
+
+    def broadcast_protection(self) -> Generator:
+        """Push this server's protection database to every other server."""
+        snapshot = self.protection.snapshot()
+        for name in self.all_servers:
+            if name == self.host.name:
+                continue
+            conn = yield from self.peer(name)
+            yield from self.node.call(conn, "SyncProtection", {"snapshot": snapshot})
+
+    def move_volume(self, volume_id: str, target_server: str) -> Generator:
+        """Relocate a volume to another server.
+
+        The volume is offline for the duration — "the files whose custodians
+        are being modified are unavailable during the change" — and the move
+        ends with a campus-wide location-database update.
+        """
+        volume = self.volumes.get(volume_id)
+        if volume is None:
+            raise FileNotFound(f"volume {volume_id!r} not stored here")
+        volume.take_offline()
+        try:
+            snapshot_bytes = marshal.dumps(volume.snapshot())
+            yield from self.host.disk.access(len(snapshot_bytes), sequential=True)
+            yield from self.host.compute(len(snapshot_bytes) * self.costs.per_byte_cpu)
+            conn = yield from self.peer(target_server)
+            yield from self.node.call(
+                conn, "ReceiveVolume", {}, payload=snapshot_bytes,
+                expect_bytes=len(snapshot_bytes),
+            )
+            del self.volumes[volume_id]
+            self.location.reassign(volume_id, target_server)
+            yield from self.broadcast_location()
+        finally:
+            volume.bring_online()
+        # The shipped copy arrives online; remote Veni discover the new
+        # custodian through NotCustodian referrals and location queries.
+
+    def release_readonly(self, volume_id: str, replica_servers: List[str]) -> Generator:
+        """Clone a volume and place read-only replicas (§3.2).
+
+        The clone is atomic at the custodian; placement then ships the frozen
+        snapshot to each replica site, and the location database gains the
+        ``ro_servers`` list so Veni can fetch from the nearest copy.
+        """
+        volume = self.volumes.get(volume_id)
+        if volume is None:
+            raise FileNotFound(f"volume {volume_id!r} not stored here")
+        clone = volume.clone(volume_id + "-ro")
+        snapshot_bytes = marshal.dumps(clone.snapshot())
+        for name in replica_servers:
+            if name == self.host.name:
+                self.add_volume(clone)
+                continue
+            yield from self.host.disk.access(len(snapshot_bytes), sequential=True)
+            conn = yield from self.peer(name)
+            yield from self.node.call(
+                conn, "ReceiveVolume", {}, payload=snapshot_bytes,
+                expect_bytes=len(snapshot_bytes),
+            )
+        self.location.set_ro_servers(volume_id, list(replica_servers))
+        yield from self.broadcast_location()
+
+    def salvage_all(self) -> Generator:
+        """Post-crash recovery: salvage every volume before serving again.
+
+        Run after ``host.recover()``; each volume goes offline, is checked
+        and repaired, and comes back online.  Disk time is charged
+        proportional to the data scanned.
+        """
+        reports = {}
+        for volume_id, volume in sorted(self.volumes.items()):
+            was_online = volume.online
+            volume.take_offline()
+            yield from self.host.disk.access(
+                max(4096, volume.used_bytes), sequential=True
+            )
+            yield from self.host.compute(0.002 * max(1, len(volume._inodes)))
+            reports[volume_id] = volume.salvage()
+            if was_online:
+                volume.bring_online()
+        # Crash amnesia: every callback promise and lock died with us.
+        self.callbacks = CallbackRegistry()
+        self.locks = LockTable()
+        return reports
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def note_volume_access(self, volume: Volume, conn: Connection, nbytes: int) -> None:
+        """Record one data access for the monitoring tools (§3.6)."""
+        interface = self.host.network.interfaces.get(conn.client_name)
+        segment = interface.segment.name if interface is not None else "?"
+        self.volume_traffic.add(f"{volume.volume_id}|{segment}")
+        self.usage_by_user.add(conn.username, max(1, nbytes))
+
+    def call_mix_shares(self) -> Dict[str, float]:
+        """The EXP-1 histogram: shares of validate/status/fetch/store/other."""
+        return self.call_mix.shares()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ViceServer {self.host.name} mode={self.mode}"
+            f" volumes={len(self.volumes)} validation={self.validation_mode}>"
+        )

@@ -1,0 +1,16 @@
+"""Virtue: the untrusted workstation — name space, syscalls, sessions."""
+
+from repro.virtue.namespace import VICE_MOUNT, Namespace
+from repro.virtue.session import UserSession
+from repro.virtue.surrogate import PersonalComputer, SurrogateServer
+from repro.virtue.workstation import OpenFile, Workstation
+
+__all__ = [
+    "Namespace",
+    "OpenFile",
+    "PersonalComputer",
+    "SurrogateServer",
+    "UserSession",
+    "VICE_MOUNT",
+    "Workstation",
+]

@@ -1,0 +1,232 @@
+"""The surrogate server: Vice access for low-function workstations (§3.3).
+
+"An approach we are exploring is to provide a Surrogate Server running on a
+Virtue workstation.  This surrogate would behave as a single-site network
+file server for the Virtue file system.  Clients of this server would then
+be transparently accessing Vice files on account of a Virtue workstation's
+transparent Vice attachment...  it could run on a machine with hardware
+interfaces to both the campus-wide LAN and a network to which the
+low-function workstations could be cheaply attached.  Work is currently in
+progress to build such a surrogate server for IBM PCs."
+
+Here the cheap secondary network is an isolated slow LAN segment; the
+surrogate machine is dual-homed ("hardware interfaces to both the
+campus-wide LAN and a network to which the low-function workstations could
+be cheaply attached"), so PC frames never touch the campus Ethernet.  A
+:class:`PersonalComputer` speaks a deliberately simple file protocol —
+whole-file read/write, stat, list — and the surrogate executes each request
+through its own Workstation syscall surface, so the PC transparently sees
+Virtue's whole name space, cache included.
+
+Security caveat, faithful to the era: a PC "cannot be called upon to play
+any trusted role", and it also lacks the resources for the full encryption
+handshake, so the PC's user must *register* their derived key with the
+surrogate (the surrogate is trusted by its PC clients, unlike Vice, which
+trusts neither).  The surrogate then authenticates to Vice properly on the
+user's behalf.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List
+
+from repro.crypto.keys import derive_user_key
+from repro.errors import NotAuthenticated
+from repro.hosts import Host
+from repro.rpc.connection import Connection
+from repro.rpc.costs import EncryptionMode, RpcCosts
+from repro.rpc.node import RpcNode
+from repro.virtue.workstation import Workstation
+
+__all__ = ["PersonalComputer", "SurrogateServer"]
+
+# The cheap attachment network: sub-Ethernet speeds were typical.
+PC_NET_BANDWIDTH = 1_000_000.0  # 1 Mb/s
+
+
+class _SecondPort:
+    """The surrogate machine's second network interface.
+
+    Shares the machine's CPU and disk with the Workstation's primary
+    :class:`~repro.hosts.Host` but attaches, under its own node name, to
+    the cheap PC segment — the dual-homed hardware of §3.3.
+    """
+
+    def __init__(self, host: Host, name: str, segment: str):
+        self._host = host
+        self.sim = host.sim
+        self.network = host.network
+        self.name = name
+        self.nic = host.network.attach(name, segment)
+        self.cpu = host.cpu
+        self.disk = host.disk
+
+    @property
+    def up(self) -> bool:
+        return self._host.up
+
+    def compute(self, reference_seconds: float):
+        return self._host.compute(reference_seconds)
+
+
+class SurrogateServer:
+    """A single-site file server re-exporting one Workstation's file system."""
+
+    def __init__(self, workstation: Workstation, pc_segment: str):
+        self.workstation = workstation
+        self.host = workstation.host
+        network = self.host.network
+        if pc_segment not in network.segments:
+            # Deliberately NOT bridged: PCs cannot reach the campus LAN.
+            network.add_segment(pc_segment, bandwidth_bps=PC_NET_BANDWIDTH)
+        self.pc_segment = pc_segment
+        self.port_name = f"{self.host.name}:pc"
+        self._pc_keys: Dict[str, bytes] = {}
+        self.requests_served = 0
+
+        port = _SecondPort(self.host, self.port_name, pc_segment)
+        self.node = RpcNode(
+            port,
+            costs=RpcCosts(),
+            encryption=EncryptionMode.NONE,  # PCs lack crypto hardware
+            auth_key_lookup=self._lookup_pc_key,
+            functional_payload_crypto=False,
+        )
+        self.node.register("SgRead", self._read)
+        self.node.register("SgWrite", self._write)
+        self.node.register("SgStat", self._stat)
+        self.node.register("SgList", self._list)
+        self.node.register("SgMkdir", self._mkdir)
+        self.node.register("SgRemove", self._remove)
+        self.node.register("SgRename", self._rename)
+
+    # -- registration --------------------------------------------------------
+
+    def register_pc_user(self, username: str, password: str) -> bytes:
+        """Enroll a PC user: the surrogate holds their key and logs them
+        into its Venus, so it can reach Vice on their behalf."""
+        key = derive_user_key(username, password)
+        self._pc_keys[username] = key
+        self.workstation.login(username, key)
+        return key
+
+    def _lookup_pc_key(self, username: str) -> bytes:
+        try:
+            return self._pc_keys[username]
+        except KeyError:
+            raise NotAuthenticated(f"PC user {username} not enrolled at this surrogate")
+
+    # -- protocol handlers -----------------------------------------------------
+
+    def _serve_cost(self) -> Generator:
+        self.requests_served += 1
+        yield from self.host.compute(0.004)  # request parsing + mapping
+
+    def _read(self, conn: Connection, args: Dict, payload: bytes):
+        yield from self._serve_cost()
+        data = yield from self.workstation.read_file(conn.username, args["path"])
+        return {"size": len(data)}, data
+
+    def _write(self, conn: Connection, args: Dict, payload: bytes):
+        yield from self._serve_cost()
+        yield from self.workstation.write_file(conn.username, args["path"], payload)
+        return {"size": len(payload)}, b""
+
+    def _stat(self, conn: Connection, args: Dict, payload: bytes):
+        yield from self._serve_cost()
+        status = yield from self.workstation.stat(conn.username, args["path"])
+        return status, b""
+
+    def _list(self, conn: Connection, args: Dict, payload: bytes):
+        yield from self._serve_cost()
+        names = yield from self.workstation.listdir(conn.username, args["path"])
+        return {"names": names}, b""
+
+    def _mkdir(self, conn: Connection, args: Dict, payload: bytes):
+        yield from self._serve_cost()
+        yield from self.workstation.mkdir(conn.username, args["path"])
+        return {"ok": True}, b""
+
+    def _remove(self, conn: Connection, args: Dict, payload: bytes):
+        yield from self._serve_cost()
+        yield from self.workstation.unlink(conn.username, args["path"])
+        return {"ok": True}, b""
+
+    def _rename(self, conn: Connection, args: Dict, payload: bytes):
+        yield from self._serve_cost()
+        yield from self.workstation.rename(conn.username, args["old"], args["new"])
+        return {"ok": True}, b""
+
+
+class PersonalComputer:
+    """A low-function client (IBM PC class) on the cheap attachment network.
+
+    Minimal hardware, minimal software: a slow CPU, no local cache worth
+    speaking of, and a dead-simple whole-file protocol to its surrogate.
+    """
+
+    def __init__(self, surrogate: SurrogateServer, name: str, cpu_speed: float = 0.25):
+        self.surrogate = surrogate
+        network = surrogate.host.network
+        self.host = Host(
+            surrogate.host.sim, network, name, surrogate.pc_segment, cpu_speed=cpu_speed
+        )
+        # PCs lack encryption hardware; the cheap net runs in the clear
+        # (which is precisely why the surrogate, not the PC, talks to Vice).
+        self.node = RpcNode(
+            self.host,
+            costs=RpcCosts(),
+            encryption=EncryptionMode.NONE,
+            functional_payload_crypto=False,
+        )
+        self._connection: Connection = None
+        self.username: str = ""
+
+    def attach(self, username: str, password: str) -> Generator[Any, Any, None]:
+        """Enroll with the surrogate and open the (cleartext) session."""
+        key = self.surrogate.register_pc_user(username, password)
+        self.username = username
+        self._connection = yield from self.node.connect(
+            self.surrogate.port_name, username, key
+        )
+
+    def _call(self, procedure: str, args: Dict, payload: bytes = b"", expect: int = 0):
+        if self._connection is None:
+            raise NotAuthenticated(f"{self.host.name} has not attached to a surrogate")
+        return (yield from self.node.call(
+            self._connection, procedure, args, payload=payload, expect_bytes=expect
+        ))
+
+    def read_file(self, path: str) -> Generator[Any, Any, bytes]:
+        """Whole-file read through the surrogate."""
+        _result, data = yield from self._call("SgRead", {"path": path}, expect=65536)
+        return data
+
+    def write_file(self, path: str, data: bytes) -> Generator:
+        """Whole-file write through the surrogate."""
+        yield from self._call("SgWrite", {"path": path}, payload=data)
+
+    def stat(self, path: str) -> Generator[Any, Any, Dict]:
+        """Metadata through the surrogate."""
+        result, _ = yield from self._call("SgStat", {"path": path})
+        return result
+
+    def listdir(self, path: str) -> Generator[Any, Any, List[str]]:
+        """Directory listing through the surrogate."""
+        result, _ = yield from self._call("SgList", {"path": path})
+        return result["names"]
+
+    def mkdir(self, path: str) -> Generator:
+        """Create a directory through the surrogate."""
+        yield from self._call("SgMkdir", {"path": path})
+
+    def remove(self, path: str) -> Generator:
+        """Remove a file through the surrogate."""
+        yield from self._call("SgRemove", {"path": path})
+
+    def rename(self, old: str, new: str) -> Generator:
+        """Rename through the surrogate."""
+        yield from self._call("SgRename", {"old": old, "new": new})
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PersonalComputer {self.host.name} via {self.surrogate.host.name}>"

@@ -1,0 +1,69 @@
+"""File classes and their access properties (§4, "exploit class-specific
+file properties").
+
+The paper cites ref [13] for the observation that files group into a small
+number of classes by access pattern, and the design exploits each one:
+system binaries are read-only replicated, temporaries live in the local
+name space, user files are cached and written through on close.  The
+synthetic workload generates traffic per class using these definitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workload.filesizes import (
+    SizeModel,
+    SYSTEM_BINARY,
+    TEMP_FILE,
+    USER_DOCUMENT,
+)
+
+__all__ = ["FileClass", "SYSTEM_PROGRAM", "TEMPORARY", "USER_FILE", "PROJECT_FILE"]
+
+
+@dataclass(frozen=True)
+class FileClass:
+    """Access/placement profile of one class of files."""
+
+    name: str
+    size_model: SizeModel
+    # Probability that an access to this class modifies the file.
+    write_fraction: float
+    # Lives in the shared (Vice) name space, or the workstation's local one.
+    shared: bool
+    # Eligible for read-only replication (frequently read, rarely written).
+    replicate_read_only: bool
+
+
+SYSTEM_PROGRAM = FileClass(
+    name="system-program",
+    size_model=SYSTEM_BINARY,
+    write_fraction=0.0005,  # new releases only
+    shared=True,
+    replicate_read_only=True,
+)
+
+TEMPORARY = FileClass(
+    name="temporary",
+    size_model=TEMP_FILE,
+    write_fraction=0.55,  # written once, read at most once
+    shared=False,  # "placing such files in the shared name space serves no purpose"
+    replicate_read_only=False,
+)
+
+USER_FILE = FileClass(
+    name="user-file",
+    size_model=USER_DOCUMENT,
+    write_fraction=0.04,
+    shared=True,
+    replicate_read_only=False,
+)
+
+PROJECT_FILE = FileClass(
+    name="project-file",
+    size_model=USER_DOCUMENT,
+    write_fraction=0.02,
+    shared=True,
+    replicate_read_only=False,
+)

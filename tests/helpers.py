@@ -1,0 +1,28 @@
+"""Shared builders for the test suite."""
+
+from repro.system.config import SystemConfig
+from repro.system.itc import ITCSystem
+
+
+def small_campus(mode="revised", clusters=1, workstations_per_cluster=2, **overrides):
+    """A small campus with one registered user and their home volume."""
+    config = SystemConfig(
+        mode=mode,
+        clusters=clusters,
+        workstations_per_cluster=workstations_per_cluster,
+        **overrides,
+    )
+    campus = ITCSystem(config)
+    campus.add_user("alice", "alice-pw")
+    campus.create_user_volume("alice")
+    return campus
+
+
+def alice_session(campus, ws=0):
+    """Alice logged in at the given workstation."""
+    return campus.login(ws, "alice", "alice-pw")
+
+
+def run(campus, generator, limit=1e9):
+    """Drive one operation to completion."""
+    return campus.run_op(generator, limit=limit)

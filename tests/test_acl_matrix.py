@@ -1,0 +1,108 @@
+"""The rights matrix: each Vice right gates exactly its operations.
+
+§3.4: "The rights associated with a directory control the fetching and
+storing of files, the creation and deletion of new directory entries, and
+modifications to the access list."  Each test grants a principal exactly
+one right and checks the full operation surface.
+"""
+
+import pytest
+
+from repro.errors import PermissionDenied
+from tests.helpers import run, small_campus
+
+HOME = "/vice/usr/alice"
+SHARED = f"{HOME}/shared"
+
+
+def campus_with_bob(bob_rights):
+    """Alice's /shared directory grants bob exactly ``bob_rights``."""
+    campus = small_campus(workstations_per_cluster=2)
+    campus.add_user("bob", "bob-pw")
+    alice = campus.login(0, "alice", "alice-pw")
+    run(campus, alice.mkdir(SHARED))
+    run(campus, alice.write_file(f"{SHARED}/doc", b"contents"))
+    acl = {"positive": {"alice": "rwidlak"}, "negative": {}}
+    if bob_rights:
+        acl["positive"]["bob"] = bob_rights
+    run(campus, alice.set_acl(SHARED, acl))
+    # Loosen the file's mode bits so only the ACL is under test.
+    campus.volume("u-alice").fs.set_mode("/shared/doc", 0o666)
+    bob = campus.login(1, "bob", "bob-pw")
+    return campus, bob
+
+
+def op_read(campus, bob):
+    return run(campus, bob.read_file(f"{SHARED}/doc"))
+
+
+def op_store(campus, bob):
+    return run(campus, bob.write_file(f"{SHARED}/doc", b"overwritten"))
+
+
+def op_insert(campus, bob):
+    return run(campus, bob.write_file(f"{SHARED}/new-file", b"x"))
+
+
+def op_delete(campus, bob):
+    return run(campus, bob.unlink(f"{SHARED}/doc"))
+
+
+def op_lookup(campus, bob):
+    return run(campus, bob.listdir(SHARED))
+
+
+def op_administer(campus, bob):
+    acl = {"positive": {"alice": "rwidlak", "bob": "rwidlak"}, "negative": {}}
+    return run(campus, bob.set_acl(SHARED, acl))
+
+
+def op_lock(campus, bob):
+    return run(campus, bob.set_lock(f"{SHARED}/doc", exclusive=False))
+
+
+OPS = {
+    "r": op_read,
+    "w": op_store,
+    "i": op_insert,
+    "d": op_delete,
+    "a": op_administer,
+    "k": op_lock,
+}
+
+# Which extra rights each op needs to even reach its check (resolution
+# requires lookup on the directory for the fid walk).
+BASE = "l"
+
+
+@pytest.mark.parametrize("right,operation", sorted(OPS.items()))
+def test_right_enables_its_operation(right, operation):
+    campus, bob = campus_with_bob(BASE + right)
+    OPS[right](campus, bob)  # must succeed
+
+
+@pytest.mark.parametrize("right,operation", sorted(OPS.items()))
+def test_other_rights_do_not_enable_it(right, operation):
+    # Grant everything EXCEPT the right under test (keep lookup: resolution).
+    others = "".join(sorted(set("rwidak") - set(right)))
+    campus, bob = campus_with_bob(BASE + others)
+    with pytest.raises(PermissionDenied):
+        OPS[right](campus, bob)
+
+
+def test_lookup_gates_resolution_itself():
+    campus, bob = campus_with_bob("rwidak")  # everything except 'l'
+    with pytest.raises(PermissionDenied):
+        run(campus, bob.listdir(SHARED))
+
+
+def test_no_rights_at_all():
+    campus, bob = campus_with_bob("")
+    with pytest.raises(PermissionDenied):
+        run(campus, bob.read_file(f"{SHARED}/doc"))
+
+
+def test_rights_string_in_status_reflects_caller():
+    campus, bob = campus_with_bob("rl")
+    status = run(campus, bob.stat(f"{SHARED}/doc"))
+    assert set(status["rights"]) == set("rl")

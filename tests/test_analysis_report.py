@@ -1,0 +1,60 @@
+"""Tests for the result-table formatting helpers."""
+
+from repro.analysis import Table, comparison_table, format_seconds, format_share
+
+
+class TestFormatters:
+    def test_format_share(self):
+        assert format_share(0.65).strip() == "65.0%"
+        assert format_share(0.0).strip() == "0.0%"
+        assert format_share(1.0).strip() == "100.0%"
+
+    def test_format_seconds_ranges(self):
+        assert format_seconds(1234.4).strip() == "1234 s"
+        assert format_seconds(12.34).strip() == "12.3 s"
+        assert format_seconds(0.0123).strip() == "12.3 ms"
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table(["name", "value"], title="demo")
+        table.add("short", 1)
+        table.add("a-much-longer-name", 22222)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) == {"-"}
+        # Columns align: every row has the separator at the same offset.
+        offset = lines[1].index("value")
+        assert lines[3][offset:].strip() == "1"
+        assert lines[4][offset:].strip() == "22222"
+
+    def test_str_equals_render(self):
+        table = Table(["a"])
+        table.add("x")
+        assert str(table) == table.render()
+
+    def test_empty_table_renders(self):
+        table = Table(["col"])
+        assert "col" in table.render()
+
+
+class TestComparisonTable:
+    def test_paper_vs_measured_rows(self):
+        table = comparison_table(
+            "t",
+            paper={"validate": 0.65, "status": 0.27},
+            measured={"validate": 0.63},
+            order=["validate", "status"],
+        )
+        text = table.render()
+        assert "65.0%" in text
+        assert "63.0%" in text
+        assert "0.0%" in text  # missing measured defaults to zero
+
+    def test_missing_paper_value_dashes(self):
+        table = comparison_table(
+            "t", paper={}, measured={"extra": 0.5}, order=["extra"]
+        )
+        assert "—" in table.render()

@@ -1,0 +1,44 @@
+"""Tests for the ``python -m repro`` command line."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_info_runs(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "ITC Distributed File System" in out
+
+
+def test_mobility_runs(capsys):
+    assert main(["mobility"]) == 0
+    out = capsys.readouterr().out
+    assert "initial penalty" in out
+    assert "user mobility" in out
+
+
+def test_day_small(capsys):
+    assert main([
+        "day", "--workstations", "3", "--hours", "0.05", "--warmup", "0.02",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "campus day summary" in out
+    assert "cache hit ratio" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_status_dashboard(capsys):
+    assert main(["status"]) == 0
+    out = capsys.readouterr().out
+    assert "Vice servers" in out
+    assert "Campus call mix" in out

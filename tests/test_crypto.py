@@ -1,0 +1,180 @@
+"""Unit tests for the encryption substrate and the mutual handshake."""
+
+import pytest
+
+from repro.crypto import (
+    ClientHandshake,
+    SessionCipher,
+    ServerHandshake,
+    derive_session_key,
+    derive_user_key,
+    fresh_nonce,
+    keystream,
+    seal,
+    unseal,
+)
+from repro.errors import AuthenticationFailure, IntegrityError
+
+
+class TestCipher:
+    def test_seal_unseal_roundtrip(self):
+        key = derive_user_key("u", "pw")
+        sealed = seal(key, b"12345678", b"secret payload")
+        assert unseal(key, sealed) == b"secret payload"
+
+    def test_ciphertext_differs_from_plaintext(self):
+        key = derive_user_key("u", "pw")
+        sealed = seal(key, b"12345678", b"secret payload")
+        assert b"secret payload" not in sealed
+
+    def test_wrong_key_detected(self):
+        sealed = seal(derive_user_key("u", "pw"), b"12345678", b"data")
+        with pytest.raises(IntegrityError):
+            unseal(derive_user_key("u", "other"), sealed)
+
+    def test_tampering_detected(self):
+        key = derive_user_key("u", "pw")
+        sealed = bytearray(seal(key, b"12345678", b"data"))
+        sealed[10] ^= 0xFF
+        with pytest.raises(IntegrityError):
+            unseal(key, bytes(sealed))
+
+    def test_truncated_message_detected(self):
+        key = derive_user_key("u", "pw")
+        with pytest.raises(IntegrityError):
+            unseal(key, b"short")
+
+    def test_empty_plaintext(self):
+        key = derive_user_key("u", "pw")
+        assert unseal(key, seal(key, b"12345678", b"")) == b""
+
+    def test_bad_nonce_length_rejected(self):
+        with pytest.raises(ValueError):
+            seal(b"k" * 32, b"short", b"data")
+
+    def test_keystream_deterministic(self):
+        assert keystream(b"k", b"n", 64) == keystream(b"k", b"n", 64)
+        assert keystream(b"k", b"n", 64) != keystream(b"k", b"m", 64)
+
+
+class TestSessionCipher:
+    def test_roundtrip_between_directions(self):
+        key = derive_session_key(b"k" * 32, b"cn", b"sn")
+        sender = SessionCipher(key, direction=0)
+        sealed = sender.encrypt(b"message one")
+        receiver = SessionCipher(key, direction=1)
+        assert receiver.decrypt(sealed) == b"message one"
+
+    def test_nonces_never_repeat(self):
+        cipher = SessionCipher(b"k" * 32)
+        first = cipher.encrypt(b"same")
+        second = cipher.encrypt(b"same")
+        assert first != second
+
+    def test_byte_accounting(self):
+        cipher = SessionCipher(b"k" * 32)
+        cipher.encrypt(b"12345")
+        assert cipher.bytes_encrypted == 5
+
+
+class TestKeys:
+    def test_derive_user_key_depends_on_both_parts(self):
+        assert derive_user_key("a", "pw") != derive_user_key("b", "pw")
+        assert derive_user_key("a", "pw") != derive_user_key("a", "pw2")
+
+    def test_session_key_binds_both_nonces(self):
+        base = derive_session_key(b"k", b"c1", b"s1")
+        assert base != derive_session_key(b"k", b"c2", b"s1")
+        assert base != derive_session_key(b"k", b"c1", b"s2")
+
+    def test_fresh_nonce_distinct_by_seed(self):
+        assert fresh_nonce(b"a") != fresh_nonce(b"b")
+        assert len(fresh_nonce(b"a")) == 16
+
+
+def complete_handshake(client_key, server_key_db, entropy=b"e"):
+    client = ClientHandshake("alice", client_key, entropy)
+    server = ServerHandshake(lambda user: server_key_db[user], entropy + b"2")
+    username, hello = client.hello()
+    challenge = server.respond(username, hello)
+    confirm = client.verify_server(challenge)
+    server.verify_client(confirm)
+    return client, server
+
+
+class TestHandshake:
+    def test_mutual_authentication_agrees_on_session_key(self):
+        key = derive_user_key("alice", "pw")
+        client, server = complete_handshake(key, {"alice": key})
+        assert client.session_key == server.session_key
+        assert client.session_key is not None
+        assert server.username == "alice"
+
+    def test_wrong_client_key_rejected_by_server(self):
+        right = derive_user_key("alice", "pw")
+        wrong = derive_user_key("alice", "guess")
+        client = ClientHandshake("alice", wrong, b"e")
+        server = ServerHandshake(lambda user: {"alice": right}[user], b"e2")
+        username, hello = client.hello()
+        with pytest.raises(AuthenticationFailure):
+            server.respond(username, hello)
+
+    def test_unknown_user_rejected_identically(self):
+        client = ClientHandshake("mallory", derive_user_key("mallory", "x"), b"e")
+        server = ServerHandshake(lambda user: {"alice": b"k" * 32}[user], b"e2")
+        username, hello = client.hello()
+        with pytest.raises(AuthenticationFailure, match="authentication failed"):
+            server.respond(username, hello)
+
+    def test_impostor_server_rejected_by_client(self):
+        real = derive_user_key("alice", "pw")
+        fake = derive_user_key("alice", "evil")
+        client = ClientHandshake("alice", real, b"e")
+        impostor = ServerHandshake(lambda user: fake, b"e2")
+        username, hello = client.hello()
+        # The impostor cannot even read the challenge, but suppose it
+        # replies with garbage of the right shape:
+        with pytest.raises(AuthenticationFailure):
+            impostor.respond(username, hello)
+
+    def test_replayed_challenge_rejected(self):
+        key = derive_user_key("alice", "pw")
+        # A past exchange an eavesdropper recorded:
+        _old_client, old_server = complete_handshake(key, {"alice": key}, b"old")
+        # New client session; attacker replays the old server response.
+        client = ClientHandshake("alice", key, b"new")
+        client.hello()
+        old_response = None
+        # Regenerate the old exchange's message 2 verbatim:
+        replay_client = ClientHandshake("alice", key, b"old")
+        replay_server = ServerHandshake(lambda user: key, b"old2")
+        username, hello = replay_client.hello()
+        old_response = replay_server.respond(username, hello)
+        with pytest.raises(AuthenticationFailure, match="replay"):
+            client.verify_server(old_response)
+
+    def test_client_confirm_cannot_be_faked(self):
+        key = derive_user_key("alice", "pw")
+        client = ClientHandshake("alice", key, b"e")
+        server = ServerHandshake(lambda user: key, b"e2")
+        username, hello = client.hello()
+        server.respond(username, hello)
+        with pytest.raises(AuthenticationFailure):
+            server.verify_client(b"not a valid confirmation")
+
+    def test_out_of_order_confirm_rejected(self):
+        server = ServerHandshake(lambda user: b"k" * 32, b"e")
+        with pytest.raises(AuthenticationFailure, match="out of order"):
+            server.verify_client(b"anything")
+
+    def test_password_never_appears_on_wire(self):
+        password = "super-secret-password"
+        key = derive_user_key("alice", password)
+        client = ClientHandshake("alice", key, b"e")
+        server = ServerHandshake(lambda user: key, b"e2")
+        username, hello = client.hello()
+        challenge = server.respond(username, hello)
+        confirm = client.verify_server(challenge)
+        wire = hello + challenge + confirm
+        assert password.encode() not in wire
+        assert key not in wire

@@ -1,0 +1,83 @@
+"""Unit tests for the simulated disk."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.storage.disk import Disk
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def test_service_time_sequential_has_single_position_cost(sim):
+    disk = Disk(sim, avg_seek=0.02, avg_rotation=0.01, transfer_rate_bps=1_000_000)
+    assert disk.service_time(1_000_000, sequential=True) == pytest.approx(0.03 + 1.0)
+
+
+def test_service_time_paged_positions_per_page(sim):
+    disk = Disk(sim, avg_seek=0.02, avg_rotation=0.01, transfer_rate_bps=1_000_000)
+    paged = disk.service_time(8192, sequential=False, page_size=4096)
+    assert paged == pytest.approx(2 * 0.03 + 8192 / 1_000_000)
+
+
+def test_whole_file_cheaper_than_paged(sim):
+    disk = Disk(sim)
+    size = 100_000
+    assert disk.service_time(size, sequential=True) < disk.service_time(
+        size, sequential=False, page_size=4096
+    )
+
+
+def test_small_access_same_either_way(sim):
+    disk = Disk(sim)
+    assert disk.service_time(1000, sequential=False) == disk.service_time(
+        1000, sequential=True
+    )
+
+
+def test_zero_bytes_still_costs_positioning(sim):
+    disk = Disk(sim, avg_seek=0.02, avg_rotation=0.01)
+    assert disk.service_time(0) == pytest.approx(0.03)
+
+
+def test_access_advances_clock_and_counts(sim):
+    disk = Disk(sim, avg_seek=0.02, avg_rotation=0.01, transfer_rate_bps=1_000_000)
+
+    def proc():
+        yield from disk.access(500_000)
+        yield from disk.access(100_000, write=True)
+        return sim.now
+
+    elapsed = sim.run_until_complete(sim.process(proc()))
+    assert elapsed == pytest.approx(0.03 + 0.5 + 0.03 + 0.1)
+    assert disk.bytes_read == 500_000
+    assert disk.bytes_written == 100_000
+    assert disk.operations == 2
+
+
+def test_concurrent_accesses_serialize_on_arm(sim):
+    disk = Disk(sim, avg_seek=0.0, avg_rotation=0.0, transfer_rate_bps=1_000_000)
+    finish = []
+
+    def worker():
+        yield from disk.access(1_000_000)
+        finish.append(sim.now)
+
+    sim.process(worker())
+    sim.process(worker())
+    sim.run()
+    assert finish == [pytest.approx(1.0), pytest.approx(2.0)]
+
+
+def test_utilization_measured(sim):
+    disk = Disk(sim, avg_seek=0.0, avg_rotation=0.0, transfer_rate_bps=1_000_000)
+
+    def worker():
+        yield from disk.access(1_000_000)
+        yield sim.timeout(9.0)
+
+    sim.process(worker())
+    sim.run()
+    assert disk.mean_utilization(0.0, 10.0) == pytest.approx(0.1)

@@ -1,0 +1,62 @@
+"""Every example script must run clean — they are executable documentation."""
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+sys.path.insert(0, str(EXAMPLES_DIR))
+
+FAST_EXAMPLES = [
+    "quickstart",
+    "user_mobility",
+    "security_acl",
+    "software_release",
+    "heterogeneous_campus",
+    "campus_operations",
+]
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs_clean(name, capsys):
+    module = importlib.import_module(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert len(out) > 100, f"{name} produced suspiciously little output"
+    assert "Traceback" not in out
+
+
+def test_quickstart_shows_cache_hit(capsys):
+    importlib.import_module("quickstart").main()
+    out = capsys.readouterr().out
+    assert "server calls during the cache hit: 0" in out
+
+
+def test_security_example_demonstrates_all_four_claims(capsys):
+    importlib.import_module("security_acl").main()
+    out = capsys.readouterr().out
+    assert "wrong password -> AuthenticationFailure" in out
+    assert "plaintext visible to the wiretap: False" in out
+    assert "PermissionDenied" in out
+    assert "howard is unaffected" in out
+
+
+def test_mobility_example_shows_penalty_then_parity(capsys):
+    importlib.import_module("user_mobility").main()
+    out = capsys.readouterr().out
+    assert "initial penalty" in out
+
+
+def test_release_example_cuts_over(capsys):
+    importlib.import_module("software_release").main()
+    out = capsys.readouterr().out
+    assert "release 2" in out
+
+
+def test_andrew_example_runs(capsys):
+    importlib.import_module("andrew_run").main()
+    out = capsys.readouterr().out
+    assert "Total" in out
+    assert "remote" in out and "+87%" in out

@@ -1,0 +1,175 @@
+"""Protocol-level tests of the Vice file service: edge and error cases.
+
+These drive the RPC procedures directly through a Venus connection, below
+the Workstation layer, to pin down wire-level semantics.
+"""
+
+import pytest
+
+from repro.errors import (
+    CrossDeviceLink,
+    FileNotFound,
+    InvalidArgument,
+    IsADirectory,
+    NotADirectory,
+)
+from tests.helpers import alice_session, run, small_campus
+
+HOME = "/vice/usr/alice"
+
+
+def raw_call(campus, ws, procedure, args, payload=b""):
+    """One raw authenticated RPC from a workstation's Venus node."""
+    venus = campus.workstation(ws).venus
+
+    def go():
+        conn = yield from venus._conn("alice", "server0")
+        return (yield from venus.node.call(conn, procedure, args, payload=payload))
+
+    return run(campus, go())
+
+
+@pytest.fixture
+def campus():
+    c = small_campus()
+    session = alice_session(c)
+    run(c, session.write_file(f"{HOME}/file.txt", b"contents"))
+    run(c, session.mkdir(f"{HOME}/dir"))
+    return c
+
+
+class TestFetchStoreEdges:
+    def test_fetch_of_directory_rejected(self, campus):
+        fid = campus.volume("u-alice").fid_of("/dir")
+        with pytest.raises(IsADirectory):
+            raw_call(campus, 0, "FetchByFid", {"fid": fid})
+
+    def test_fetch_unknown_fid(self, campus):
+        with pytest.raises(FileNotFound):
+            raw_call(campus, 0, "FetchByFid", {"fid": "u-alice.99999"})
+
+    def test_malformed_fid(self, campus):
+        with pytest.raises(InvalidArgument):
+            raw_call(campus, 0, "FetchByFid", {"fid": "garbage"})
+
+    def test_store_returns_fresh_status(self, campus):
+        volume = campus.volume("u-alice")
+        fid = volume.fid_of("/file.txt")
+        before = volume.resolve("/file.txt").version
+        result, _ = raw_call(campus, 0, "StoreByFid", {"fid": fid}, payload=b"new")
+        assert result["size"] == 3
+        assert result["version"] == before + 1
+
+    def test_fetch_returns_exact_bytes(self, campus):
+        fid = campus.volume("u-alice").fid_of("/file.txt")
+        result, data = raw_call(campus, 0, "FetchByFid", {"fid": fid})
+        assert data == b"contents"
+        assert result["size"] == len(data)
+
+    def test_create_by_fid_in_missing_parent(self, campus):
+        with pytest.raises(FileNotFound):
+            raw_call(campus, 0, "CreateByFid",
+                     {"parent": "u-alice.424242", "name": "x"}, payload=b"d")
+
+
+class TestDirectoryProtocol:
+    def test_fetch_dir_lists_entries_with_fids(self, campus):
+        root_fid = "u-alice.1"
+        result, _ = raw_call(campus, 0, "FetchDir", {"fid": root_fid})
+        assert set(result["entries"]) == {"file.txt", "dir"}
+        assert result["entries"]["dir"]["type"] == "directory"
+        assert result["entries"]["file.txt"]["fid"].startswith("u-alice.")
+
+    def test_fetch_dir_of_file_rejected(self, campus):
+        fid = campus.volume("u-alice").fid_of("/file.txt")
+        with pytest.raises(NotADirectory):
+            raw_call(campus, 0, "FetchDir", {"fid": fid})
+
+    def test_lookup_vnode_hit_and_miss(self, campus):
+        result, _ = raw_call(campus, 0, "LookupVnode",
+                             {"fid": "u-alice.1", "name": "file.txt"})
+        assert result["type"] == "file"
+        with pytest.raises(FileNotFound):
+            raw_call(campus, 0, "LookupVnode", {"fid": "u-alice.1", "name": "ghost"})
+
+    def test_remove_dir_with_contents_rejected(self, campus):
+        session = alice_session(campus)
+        run(campus, session.write_file(f"{HOME}/dir/inner", b"x"))
+        from repro.errors import DirectoryNotEmpty
+
+        with pytest.raises(DirectoryNotEmpty):
+            raw_call(campus, 0, "RemoveDirByFid", {"parent": "u-alice.1", "name": "dir"})
+
+    def test_rename_across_volumes_rejected(self, campus):
+        campus.create_volume("/other", custodian=0, volume_id="other", owner="alice")
+        with pytest.raises(CrossDeviceLink):
+            raw_call(campus, 0, "RenameByFid", {
+                "old_parent": "u-alice.1", "old_name": "file.txt",
+                "new_parent": "other.1", "new_name": "file.txt",
+            })
+
+
+class TestValidateProtocol:
+    def test_validate_current_version(self, campus):
+        volume = campus.volume("u-alice")
+        node = volume.resolve("/file.txt")
+        fid = volume.fid_of("/file.txt")
+        result, _ = raw_call(campus, 0, "ValidateByFid",
+                             {"fid": fid, "version": node.version})
+        assert result["valid"] is True
+
+    def test_validate_stale_version(self, campus):
+        fid = campus.volume("u-alice").fid_of("/file.txt")
+        result, _ = raw_call(campus, 0, "ValidateByFid", {"fid": fid, "version": 0})
+        assert result["valid"] is False
+        assert result["exists"] is True
+
+    def test_validate_deleted_file(self, campus):
+        fid = campus.volume("u-alice").fid_of("/file.txt")
+        session = alice_session(campus)
+        run(campus, session.unlink(f"{HOME}/file.txt"))
+        result, _ = raw_call(campus, 0, "ValidateByFid", {"fid": fid, "version": 2})
+        assert result["exists"] is False
+        assert result["valid"] is False
+
+
+class TestStatusRecord:
+    def test_status_fields_complete(self, campus):
+        fid = campus.volume("u-alice").fid_of("/file.txt")
+        result, _ = raw_call(campus, 0, "GetStatusByFid", {"fid": fid})
+        for field in ("fid", "type", "size", "version", "mtime", "owner",
+                      "mode", "rights", "read_only"):
+            assert field in result
+        assert result["owner"] == "alice"
+        assert result["read_only"] is False
+        assert set("rl") <= set(result["rights"])
+
+    def test_get_custodian_returns_entry(self, campus):
+        result, _ = raw_call(campus, 0, "GetCustodian", {"path": "/usr/alice/file.txt"})
+        assert result["custodian"] == "server0"
+        assert result["mount_path"] == "/usr/alice"
+        assert result["volume_id"] == "u-alice"
+
+
+class TestPrototypeProtocolRestrictions:
+    def test_prototype_refuses_symlink_and_dir_rename(self):
+        campus = small_campus(mode="prototype")
+        session = alice_session(campus)
+        run(campus, session.mkdir(f"{HOME}/d"))
+        venus = campus.workstation(0).venus
+
+        def go(proc, args):
+            conn = yield from venus._conn("alice", "server0")
+            return (yield from venus.node.call(conn, proc, args))
+
+        with pytest.raises(InvalidArgument):
+            run(campus, go("MakeSymlink", {"path": "/usr/alice/l", "target": "/x"}))
+        with pytest.raises(InvalidArgument):
+            run(campus, go("Rename", {"old": "/usr/alice/d", "new": "/usr/alice/e"}))
+
+    def test_prototype_file_rename_allowed(self):
+        campus = small_campus(mode="prototype")
+        session = alice_session(campus)
+        run(campus, session.write_file(f"{HOME}/a", b"x"))
+        run(campus, session.rename(f"{HOME}/a", f"{HOME}/b"))
+        assert run(campus, session.read_file(f"{HOME}/b")) == b"x"

@@ -1,0 +1,163 @@
+"""Integration: failures — server crashes, partitions, workstation crashes.
+
+The availability goal (§2.2): "single point network or machine failures
+should not affect the entire user community; we are willing to accept
+temporary loss of service to small groups of users."
+"""
+
+import pytest
+
+from repro.errors import ServerUnavailable
+from repro.rpc.costs import RpcCosts
+from tests.helpers import alice_session, run, small_campus
+
+HOME = "/vice/usr/alice"
+
+FAST_TIMEOUTS = RpcCosts(retransmit_timeout=0.5, max_retries=1)
+
+
+def impatient_campus(**overrides):
+    return small_campus(rpc_costs=FAST_TIMEOUTS, **overrides)
+
+
+class TestServerCrash:
+    def test_crashed_server_loses_its_users_only(self):
+        campus = impatient_campus(clusters=2, workstations_per_cluster=1)
+        campus.add_user("bob", "bob-pw")
+        campus.create_user_volume("bob", cluster=1)
+        alice = alice_session(campus, "ws0-0")
+        bob = campus.login("ws1-0", "bob", "bob-pw")
+        run(campus, alice.write_file(f"{HOME}/f", b"a"))
+        run(campus, bob.write_file("/vice/usr/bob/f", b"b"))
+
+        campus.server(0).host.crash()
+        campus.workstation("ws0-0").venus.cache.invalidate_all()
+        with pytest.raises(ServerUnavailable):
+            run(campus, alice.read_file(f"{HOME}/f"))
+        # Bob, on the other cluster, is untouched.
+        assert run(campus, bob.read_file("/vice/usr/bob/f")) == b"b"
+
+    def test_cached_files_survive_server_outage(self):
+        """Whole-file caching gives a modicum of availability: files already
+        cached remain readable while the custodian is down (callback mode
+        trusts them until broken)."""
+        campus = impatient_campus()
+        session = alice_session(campus, 0)
+        run(campus, session.write_file(f"{HOME}/f", b"cached copy"))
+        run(campus, session.read_file(f"{HOME}/f"))
+        campus.server(0).host.crash()
+        assert run(campus, session.read_file(f"{HOME}/f")) == b"cached copy"
+
+    def test_server_recovery_restores_service(self):
+        campus = impatient_campus()
+        session = alice_session(campus, 0)
+        run(campus, session.write_file(f"{HOME}/f", b"v1"))
+        campus.server(0).host.crash()
+        campus.workstation(0).venus.cache.invalidate_all()
+        with pytest.raises(ServerUnavailable):
+            run(campus, session.read_file(f"{HOME}/f"))
+        campus.server(0).host.recover()
+        assert run(campus, session.read_file(f"{HOME}/f")) == b"v1"
+
+    def test_store_during_outage_fails_cleanly(self):
+        campus = impatient_campus()
+        session = alice_session(campus, 0)
+        run(campus, session.write_file(f"{HOME}/f", b"v1"))
+        campus.server(0).host.crash()
+        with pytest.raises(ServerUnavailable):
+            run(campus, session.write_file(f"{HOME}/f", b"v2"))
+        campus.server(0).host.recover()
+        # The old version is intact on the server.
+        assert campus.server(0).volumes["u-alice"].read("/f") == b"v1"
+
+
+class TestPartition:
+    def test_partitioned_cluster_cut_off(self):
+        campus = impatient_campus(clusters=2, workstations_per_cluster=1)
+        session = alice_session(campus, "ws1-0")  # other cluster than server0
+        run(campus, session.write_file(f"{HOME}/f", b"x"))
+        campus.network.partition("cluster1")
+        campus.workstation("ws1-0").venus.cache.invalidate_all()
+        with pytest.raises(Exception):
+            run(campus, session.read_file(f"{HOME}/f"))
+        campus.network.heal("cluster1")
+        assert run(campus, session.read_file(f"{HOME}/f")) == b"x"
+
+    def test_intra_cluster_unaffected_by_partition(self):
+        campus = impatient_campus(clusters=2, workstations_per_cluster=1)
+        local = alice_session(campus, "ws0-0")
+        campus.network.partition("cluster1")
+        run(campus, local.write_file(f"{HOME}/f", b"still fine"))
+        assert run(campus, local.read_file(f"{HOME}/f")) == b"still fine"
+
+
+class TestWorkstationCrash:
+    def test_dirty_data_lost_but_server_consistent(self):
+        """Store-on-close means a crash loses at most the open files'
+        changes — the rationale for write-through (§3.2)."""
+        campus = impatient_campus()
+        session = alice_session(campus, 0)
+        run(campus, session.write_file(f"{HOME}/f", b"committed"))
+        ws = campus.workstation(0)
+        fd = run(campus, session.open(f"{HOME}/f", "r+"))
+        run(campus, session.write(fd, b"UNCOMMITTED"))
+        ws.crash()  # before close: the write never reached Vice
+        ws.recover()
+        assert campus.server(0).volumes["u-alice"].read("/f") == b"committed"
+        assert run(campus, session.read_file(f"{HOME}/f")) == b"committed"
+
+    def test_recovered_workstation_revalidates(self):
+        campus = impatient_campus(workstations_per_cluster=2)
+        crasher = alice_session(campus, 0)
+        other = alice_session(campus, 1)
+        run(campus, crasher.read_file.__self__.write_file(f"{HOME}/f", b"v1"))
+        run(campus, crasher.read_file(f"{HOME}/f"))
+        ws = campus.workstation(0)
+        ws.crash()
+        # While ws0 is dark, the file changes; its callback break is lost.
+        run(campus, other.write_file(f"{HOME}/f", b"v2"))
+        ws.recover()  # recovery invalidates all cached entries
+        assert run(campus, crasher.read_file(f"{HOME}/f")) == b"v2"
+
+    def test_break_to_dead_workstation_does_not_block_store(self):
+        campus = impatient_campus(workstations_per_cluster=2)
+        holder = alice_session(campus, 0)
+        writer = alice_session(campus, 1)
+        run(campus, writer.write_file(f"{HOME}/f", b"v1"))
+        run(campus, holder.read_file(f"{HOME}/f"))  # holder takes a callback
+        campus.workstation(0).host.crash()
+        # The store must complete despite the unreachable callback holder.
+        run(campus, writer.write_file(f"{HOME}/f", b"v2"))
+        assert campus.server(0).volumes["u-alice"].read("/f") == b"v2"
+
+
+class TestLossyNetwork:
+    def test_whole_stack_survives_packet_loss(self):
+        lossy = RpcCosts(loss_probability=0.15, retransmit_timeout=0.5, max_retries=8)
+        campus = small_campus(rpc_costs=lossy)
+        session = alice_session(campus, 0)
+        for index in range(5):
+            run(campus, session.write_file(f"{HOME}/f{index}", b"data%d" % index))
+        for index in range(5):
+            assert run(campus, session.read_file(f"{HOME}/f{index}")) == b"data%d" % index
+
+
+class TestPartitionedClusterAutonomy:
+    def test_cut_off_cluster_keeps_serving_its_own_users(self):
+        """Clusters are "semi-autonomous" (§2.3): a backbone-bridge failure
+        strands a cluster but its users and their cluster server carry on."""
+        campus = impatient_campus(clusters=2, workstations_per_cluster=1)
+        campus.add_user("bob", "bob-pw")
+        campus.create_user_volume("bob", cluster=1)
+        bob = campus.login("ws1-0", "bob", "bob-pw")
+        run(campus, bob.write_file("/vice/usr/bob/f", b"local work"))
+
+        campus.network.partition("cluster1")
+        # bob's whole world is inside cluster1: nothing changes for him.
+        run(campus, bob.write_file("/vice/usr/bob/g", b"still working"))
+        assert run(campus, bob.read_file("/vice/usr/bob/g")) == b"still working"
+        # But alice's files (cluster 0 custodian) are unreachable from there.
+        campus.workstation("ws1-0").venus.login("alice", "alice-pw")
+        alice_away = campus.login("ws1-0", "alice", "alice-pw")
+        with pytest.raises(Exception):
+            run(campus, alice_away.read_file(f"{HOME}/anything"))

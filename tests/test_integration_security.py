@@ -1,0 +1,184 @@
+"""Integration: the security design end to end (§3.4).
+
+Authentication, access lists, negative rights and wire encryption exercised
+through the full workstation/Venus/RPC/Vice stack — with workstations and
+the network treated as untrusted, exactly as the paper demands.
+"""
+
+import pytest
+
+from repro.errors import AuthenticationFailure, NotAuthenticated, PermissionDenied
+from repro.vice.protection import AccessList
+from tests.helpers import run, small_campus
+
+HOME = "/vice/usr/alice"
+
+
+@pytest.fixture
+def campus():
+    campus = small_campus(clusters=1, workstations_per_cluster=3)
+    campus.add_user("bob", "bob-pw")
+    campus.add_user("mallory", "mallory-pw")
+    return campus
+
+
+class TestAuthentication:
+    def test_wrong_password_cannot_touch_vice(self, campus):
+        session = campus.login(0, "alice", "WRONG")
+        with pytest.raises(AuthenticationFailure):
+            run(campus, session.read_file(f"{HOME}/anything"))
+
+    def test_unregistered_user_rejected(self, campus):
+        session = campus.login(0, "eve", "whatever")
+        with pytest.raises(AuthenticationFailure):
+            run(campus, session.listdir("/vice/usr"))
+
+    def test_no_login_no_access(self, campus):
+        ws = campus.workstation(0)
+
+        def go():
+            yield from ws.venus.stat("ghost", "/usr/alice")
+
+        with pytest.raises(NotAuthenticated):
+            run(campus, go())
+
+    def test_logout_severs_access(self, campus):
+        session = campus.login(0, "alice", "alice-pw")
+        run(campus, session.write_file(f"{HOME}/f", b"x"))
+        session.logout()
+        with pytest.raises(NotAuthenticated):
+            run(campus, session.stat(f"{HOME}/f"))
+
+    def test_two_users_on_one_workstation(self, campus):
+        alice = campus.login(0, "alice", "alice-pw")
+        bob = campus.login(0, "bob", "bob-pw")
+        run(campus, alice.write_file(f"{HOME}/af", b"alice data"))
+        # Bob reads through anyuser rl on alice's tree.
+        assert run(campus, bob.read_file(f"{HOME}/af")) == b"alice data"
+
+
+class TestAccessControl:
+    def test_default_acl_denies_foreign_writes(self, campus):
+        bob = campus.login(0, "bob", "bob-pw")
+        with pytest.raises(PermissionDenied):
+            run(campus, bob.write_file(f"{HOME}/intrusion", b"x"))
+
+    def test_owner_can_grant_write_via_acl(self, campus):
+        alice = campus.login(0, "alice", "alice-pw")
+        bob = campus.login(1, "bob", "bob-pw")
+        run(campus, alice.mkdir(f"{HOME}/shared"))
+        acl = run(campus, alice.get_acl(f"{HOME}/shared"))
+        acl["positive"]["bob"] = "rliwd"
+        run(campus, alice.set_acl(f"{HOME}/shared", acl))
+        run(campus, bob.write_file(f"{HOME}/shared/from-bob", b"hello"))
+        assert run(campus, alice.read_file(f"{HOME}/shared/from-bob")) == b"hello"
+
+    def test_group_grant_reaches_indirect_members(self, campus):
+        campus.add_group("project")
+        campus.add_group("team")
+        campus.add_member("team", "bob")
+        campus.add_member("project", "team")  # bob ∈ team ∈ project
+        alice = campus.login(0, "alice", "alice-pw")
+        bob = campus.login(1, "bob", "bob-pw")
+        run(campus, alice.mkdir(f"{HOME}/proj"))
+        acl = run(campus, alice.get_acl(f"{HOME}/proj"))
+        acl["positive"]["project"] = "rliw"
+        run(campus, alice.set_acl(f"{HOME}/proj", acl))
+        run(campus, bob.write_file(f"{HOME}/proj/notes", b"via nested group"))
+
+    def test_negative_rights_revoke_rapidly(self, campus):
+        """§3.4: negative rights limit the damage from an untrustworthy
+        user without waiting for group updates to propagate."""
+        campus.add_group("project", members=["mallory", "bob"])
+        alice = campus.login(0, "alice", "alice-pw")
+        mallory = campus.login(1, "mallory", "mallory-pw")
+        run(campus, alice.mkdir(f"{HOME}/proj"))
+        acl = run(campus, alice.get_acl(f"{HOME}/proj"))
+        acl["positive"]["project"] = "rliw"
+        run(campus, alice.set_acl(f"{HOME}/proj", acl))
+        run(campus, mallory.write_file(f"{HOME}/proj/ok", b"fine so far"))
+        # Mallory turns out to be untrustworthy; alice adds negative rights.
+        acl = run(campus, alice.get_acl(f"{HOME}/proj"))
+        acl.setdefault("negative", {})["mallory"] = "rliwdak"
+        run(campus, alice.set_acl(f"{HOME}/proj", acl))
+        with pytest.raises(PermissionDenied):
+            run(campus, mallory.read_file(f"{HOME}/proj/ok"))
+        # Bob, also in the group, is unaffected.
+        bob = campus.login(2, "bob", "bob-pw")
+        assert run(campus, bob.read_file(f"{HOME}/proj/ok")) == b"fine so far"
+
+    def test_acl_administration_needs_a_right(self, campus):
+        alice = campus.login(0, "alice", "alice-pw")
+        bob = campus.login(1, "bob", "bob-pw")
+        run(campus, alice.mkdir(f"{HOME}/locked"))
+        stolen = run(campus, alice.get_acl(f"{HOME}/locked"))
+        stolen["positive"]["bob"] = "rwidlak"
+        with pytest.raises(PermissionDenied):
+            run(campus, bob.set_acl(f"{HOME}/locked", stolen))
+
+    def test_listing_needs_lookup_right(self, campus):
+        alice = campus.login(0, "alice", "alice-pw")
+        mallory = campus.login(1, "mallory", "mallory-pw")
+        run(campus, alice.mkdir(f"{HOME}/private"))
+        acl = {"positive": {"alice": "rwidlak"}, "negative": {}}
+        run(campus, alice.set_acl(f"{HOME}/private", acl))
+        run(campus, alice.write_file(f"{HOME}/private/secret", b"s"))
+        with pytest.raises(PermissionDenied):
+            run(campus, mallory.listdir(f"{HOME}/private"))
+        with pytest.raises(PermissionDenied):
+            run(campus, mallory.read_file(f"{HOME}/private/secret"))
+
+    def test_per_file_mode_bits_revised(self, campus):
+        """§5.1: the revised design adds per-file protection bits."""
+        alice = campus.login(0, "alice", "alice-pw")
+        bob = campus.login(1, "bob", "bob-pw")
+        run(campus, alice.write_file(f"{HOME}/readable", b"open"))
+        assert run(campus, bob.read_file(f"{HOME}/readable")) == b"open"
+        # Clamp the mode bits on the server object (owner-only).
+        volume = campus.volume("u-alice")
+        volume.fs.set_mode("/readable", 0o600)
+        campus.workstation(1).venus.cache.invalidate_all()
+        with pytest.raises(PermissionDenied):
+            run(campus, bob.read_file(f"{HOME}/readable"))
+        # The owner still reads it.
+        campus.workstation(0).venus.cache.invalidate_all()
+        assert run(campus, alice.read_file(f"{HOME}/readable")) == b"open"
+
+
+class TestWireSecurity:
+    def test_file_contents_never_in_cleartext_on_lan(self, campus):
+        secret = b"PAYROLL: confidential salary table"
+        observed = []
+        network = campus.network
+        original = network.send
+
+        def wiretap(datagram, kind="data", deliver=True):
+            observed.append(datagram.payload)
+            return original(datagram, kind, deliver)
+
+        network.send = wiretap
+        alice = campus.login(0, "alice", "alice-pw")
+        run(campus, alice.write_file(f"{HOME}/payroll", secret))
+        bob_readable = run(campus, alice.read_file(f"{HOME}/payroll"))
+        assert bob_readable == secret
+        for envelope in observed:
+            assert secret not in getattr(envelope, "body", b"")
+            assert secret not in getattr(envelope, "payload", b"")
+
+    def test_passwords_never_on_lan(self, campus):
+        observed = []
+        network = campus.network
+        original = network.send
+
+        def wiretap(datagram, kind="data", deliver=True):
+            envelope = datagram.payload
+            observed.append(
+                getattr(envelope, "body", b"") + getattr(envelope, "payload", b"")
+            )
+            return original(datagram, kind, deliver)
+
+        network.send = wiretap
+        session = campus.login(0, "alice", "alice-pw")
+        run(campus, session.write_file(f"{HOME}/f", b"x"))
+        for chunk in observed:
+            assert b"alice-pw" not in chunk

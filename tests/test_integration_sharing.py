@@ -1,0 +1,204 @@
+"""Integration: sharing, mobility and cache consistency across workstations.
+
+These exercise the paper's headline behaviours end to end through the real
+protocol: whole-file caching, store-on-close visibility, callback breaks vs
+check-on-open validation, and location-transparent user mobility.
+"""
+
+import pytest
+
+from tests.helpers import alice_session, run, small_campus
+
+HOME = "/vice/usr/alice"
+
+
+class TestMobility:
+    def test_user_moves_between_clusters(self):
+        campus = small_campus(clusters=2, workstations_per_cluster=2)
+        here = alice_session(campus, "ws0-0")
+        run(campus, here.write_file(f"{HOME}/thesis.tex", b"\\chapter{Scale}"))
+        # Walk across campus to a workstation in the other cluster.
+        there = alice_session(campus, "ws1-1")
+        assert run(campus, there.read_file(f"{HOME}/thesis.tex")) == b"\\chapter{Scale}"
+
+    def test_first_remote_access_slower_than_second(self):
+        """The paper's mobility cost: an initial penalty while the new
+        workstation's cache fills, then local-speed access."""
+        campus = small_campus(clusters=2, workstations_per_cluster=1)
+        home_session = alice_session(campus, "ws0-0")
+        run(campus, home_session.write_file(f"{HOME}/f", b"d" * 100_000))
+        away = alice_session(campus, "ws1-0")
+        sim = campus.sim
+
+        start = sim.now
+        run(campus, away.read_file(f"{HOME}/f"))
+        cold = sim.now - start
+
+        start = sim.now
+        run(campus, away.read_file(f"{HOME}/f"))
+        warm = sim.now - start
+        assert warm < cold / 2
+
+    def test_same_namespace_everywhere(self):
+        campus = small_campus(clusters=2, workstations_per_cluster=1)
+        a = alice_session(campus, "ws0-0")
+        b = alice_session(campus, "ws1-0")
+        run(campus, a.mkdir(f"{HOME}/shared-view"))
+        listing_a = run(campus, a.listdir(HOME))
+        listing_b = run(campus, b.listdir(HOME))
+        assert listing_a == listing_b
+
+
+class TestConsistency:
+    @pytest.mark.parametrize("mode", ["prototype", "revised"])
+    def test_store_on_close_visible_to_other_workstation(self, mode):
+        campus = small_campus(mode=mode)
+        writer = alice_session(campus, 0)
+        reader = alice_session(campus, 1)
+        run(campus, writer.write_file(f"{HOME}/f", b"v1"))
+        assert run(campus, reader.read_file(f"{HOME}/f")) == b"v1"
+        run(campus, writer.write_file(f"{HOME}/f", b"v2"))
+        # "changes by one user are immediately visible to all other users"
+        assert run(campus, reader.read_file(f"{HOME}/f")) == b"v2"
+
+    def test_callback_break_invalidates_remote_cache(self):
+        campus = small_campus(mode="revised")
+        writer = alice_session(campus, 0)
+        reader = alice_session(campus, 1)
+        run(campus, writer.write_file(f"{HOME}/f", b"v1"))
+        run(campus, reader.read_file(f"{HOME}/f"))  # reader now caches v1
+        reader_venus = campus.workstation(1).venus
+        assert reader_venus.callback_breaks_received == 0
+        run(campus, writer.write_file(f"{HOME}/f", b"v2"))
+        assert reader_venus.callback_breaks_received >= 1
+        entry = reader_venus.cache.lookup("/usr/alice/f")
+        assert entry is not None and not entry.callback_valid
+
+    def test_callback_mode_rereads_are_free_of_server_calls(self):
+        campus = small_campus(mode="revised")
+        session = alice_session(campus, 0)
+        run(campus, session.write_file(f"{HOME}/f", b"data"))
+        run(campus, session.read_file(f"{HOME}/f"))
+        server = campus.server(0)
+        before = server.node.calls_received.total
+        for _ in range(5):
+            run(campus, session.read_file(f"{HOME}/f"))
+        assert server.node.calls_received.total == before  # pure cache hits
+
+    def test_check_on_open_validates_every_open(self):
+        campus = small_campus(mode="prototype")
+        session = alice_session(campus, 0)
+        run(campus, session.write_file(f"{HOME}/f", b"data"))
+        server = campus.server(0)
+        before = server.call_mix.count("validate")
+        for _ in range(5):
+            run(campus, session.read_file(f"{HOME}/f"))
+        assert server.call_mix.count("validate") == before + 5
+
+    def test_last_close_wins_on_concurrent_stores(self):
+        campus = small_campus()
+        a = alice_session(campus, 0)
+        b = alice_session(campus, 1)
+        run(campus, a.write_file(f"{HOME}/f", b"base"))
+        run(campus, b.read_file(f"{HOME}/f"))
+        sim = campus.sim
+
+        def writer(session, data, delay):
+            yield sim.timeout(delay)
+            fd = yield from session.open(f"{HOME}/f", "r+")
+            yield from session.write(fd, data)
+            yield sim.timeout(5.0)
+            yield from session.close(fd)
+
+        first = sim.process(writer(a, b"AAAA", 0.0))
+        second = sim.process(writer(b, b"BBBB", 1.0))
+        sim.run_until_complete(sim.all_of([first, second]))
+        fresh = alice_session(campus, 0)
+        final = run(campus, fresh.read_file(f"{HOME}/f"))
+        assert final == b"BBBB"  # the later close overwrote the earlier
+
+    def test_fetch_never_sees_partial_store(self):
+        """Action consistency (§3.6): a fetch concurrent with a store gets
+        the old version or the new one, never a mixture."""
+        campus = small_campus()
+        writer = alice_session(campus, 0)
+        reader = alice_session(campus, 1)
+        old = b"O" * 50_000
+        new = b"N" * 50_000
+        run(campus, writer.write_file(f"{HOME}/f", old))
+        sim = campus.sim
+
+        def storer():
+            yield from writer.write_file(f"{HOME}/f", new)
+
+        observed = []
+
+        def fetcher():
+            for _ in range(8):
+                data = yield from reader.read_file(f"{HOME}/f")
+                observed.append(bytes(data))
+                yield sim.timeout(0.05)
+
+        store_proc = sim.process(storer())
+        fetch_proc = sim.process(fetcher())
+        sim.run_until_complete(sim.all_of([store_proc, fetch_proc]))
+        for data in observed:
+            assert data in (old, new), "mixed old/new bytes observed"
+        # Once the dust settles, everyone converges on the new version.
+        assert run(campus, reader.read_file(f"{HOME}/f")) == new
+
+
+class TestDirectorySharing:
+    def test_new_files_appear_in_remote_listings(self):
+        campus = small_campus(mode="revised")
+        a = alice_session(campus, 0)
+        b = alice_session(campus, 1)
+        run(campus, b.listdir(HOME))  # b caches the (empty) directory
+        run(campus, a.write_file(f"{HOME}/brand-new", b"x"))
+        assert "brand-new" in run(campus, b.listdir(HOME))
+
+    def test_remove_disappears_remotely(self):
+        campus = small_campus(mode="revised")
+        a = alice_session(campus, 0)
+        b = alice_session(campus, 1)
+        run(campus, a.write_file(f"{HOME}/doomed", b"x"))
+        assert "doomed" in run(campus, b.listdir(HOME))
+        run(campus, a.unlink(f"{HOME}/doomed"))
+        assert "doomed" not in run(campus, b.listdir(HOME))
+
+    def test_rename_updates_both_views(self):
+        campus = small_campus(mode="revised")
+        a = alice_session(campus, 0)
+        b = alice_session(campus, 1)
+        run(campus, a.write_file(f"{HOME}/before", b"x"))
+        run(campus, b.read_file(f"{HOME}/before"))
+        run(campus, a.rename(f"{HOME}/before", f"{HOME}/after"))
+        assert run(campus, b.read_file(f"{HOME}/after")) == b"x"
+        names = run(campus, b.listdir(HOME))
+        assert "before" not in names and "after" in names
+
+
+class TestLocking:
+    def test_advisory_lock_cycle(self):
+        campus = small_campus()
+        a = alice_session(campus, 0)
+        run(campus, a.write_file(f"{HOME}/db", b"records"))
+        run(campus, a.set_lock(f"{HOME}/db", exclusive=True))
+        b = alice_session(campus, 1)
+        from repro.errors import LockConflict
+
+        with pytest.raises(LockConflict):
+            run(campus, b.set_lock(f"{HOME}/db", exclusive=True))
+        run(campus, a.release_lock(f"{HOME}/db"))
+        run(campus, b.set_lock(f"{HOME}/db", exclusive=True))
+        run(campus, b.release_lock(f"{HOME}/db"))
+
+    def test_locking_is_advisory(self):
+        """Nothing stops a non-locking writer (§3.6)."""
+        campus = small_campus()
+        a = alice_session(campus, 0)
+        b = alice_session(campus, 1)
+        run(campus, a.write_file(f"{HOME}/f", b"v1"))
+        run(campus, a.set_lock(f"{HOME}/f", exclusive=True))
+        run(campus, b.write_file(f"{HOME}/f", b"v2"))  # ignores the lock
+        assert run(campus, a.read_file(f"{HOME}/f")) == b"v2"

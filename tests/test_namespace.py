@@ -1,0 +1,87 @@
+"""Unit tests for the local/shared name space partition (Fig. 3-1/3-2)."""
+
+import pytest
+
+from repro.errors import FileNotFound, TooManySymlinks
+from repro.storage.unixfs import UnixFileSystem
+from repro.virtue.namespace import Namespace, VICE_MOUNT
+
+
+@pytest.fixture
+def ns():
+    fs = UnixFileSystem()
+    fs.makedirs("/vice")
+    fs.makedirs("/tmp")
+    fs.makedirs("/etc")
+    fs.create("/etc/passwd", b"root:0")
+    return Namespace(fs)
+
+
+class TestClassify:
+    def test_vice_path(self, ns):
+        assert ns.classify("/vice/usr/satya/f") == ("vice", "/usr/satya/f")
+
+    def test_vice_mount_itself(self, ns):
+        assert ns.classify("/vice") == ("vice", "/")
+
+    def test_local_path(self, ns):
+        assert ns.classify("/etc/passwd") == ("local", "/etc/passwd")
+
+    def test_local_missing_leaf_still_classifies(self, ns):
+        # Needed so `open(..., "w")` can create files.
+        assert ns.classify("/tmp/newfile") == ("local", "/tmp/newfile")
+
+    def test_missing_intermediate_rejected(self, ns):
+        with pytest.raises(FileNotFound):
+            ns.classify("/no/such/dir/file")
+
+    def test_normalization(self, ns):
+        assert ns.classify("/vice//usr/../unix/bin") == ("vice", "/unix/bin")
+
+
+class TestSymlinkCrossing:
+    def test_link_into_vice(self, ns):
+        """Fig. 3-2: /bin -> /vice/unix/sun/bin."""
+        ns.local_fs.symlink("/bin", "/vice/unix/sun/bin")
+        assert ns.classify("/bin/cc") == ("vice", "/unix/sun/bin/cc")
+
+    def test_link_to_local(self, ns):
+        ns.local_fs.symlink("/passwd-alias", "/etc/passwd")
+        assert ns.classify("/passwd-alias") == ("local", "/etc/passwd")
+
+    def test_relative_link(self, ns):
+        ns.local_fs.symlink("/etc/alias", "passwd")
+        assert ns.classify("/etc/alias") == ("local", "/etc/passwd")
+
+    def test_chained_links(self, ns):
+        ns.local_fs.symlink("/a", "/b")
+        ns.local_fs.symlink("/b", "/vice/target")
+        assert ns.classify("/a/rest") == ("vice", "/target/rest")
+
+    def test_loop_detected(self, ns):
+        ns.local_fs.symlink("/x", "/y")
+        ns.local_fs.symlink("/y", "/x")
+        with pytest.raises(TooManySymlinks):
+            ns.classify("/x/deep")
+
+    def test_heterogeneity_per_workstation_type(self):
+        """Sun and Vax workstations map /bin to different Vice subtrees."""
+        for ws_type in ("sun", "vax"):
+            fs = UnixFileSystem()
+            fs.makedirs("/vice")
+            fs.symlink("/bin", f"/vice/unix/{ws_type}/bin")
+            ns = Namespace(fs)
+            assert ns.classify("/bin/cc") == ("vice", f"/unix/{ws_type}/bin/cc")
+
+
+class TestConversions:
+    def test_to_vice_and_back(self, ns):
+        assert ns.to_vice("/vice/usr/x") == "/usr/x"
+        assert ns.to_workstation("/usr/x") == "/vice/usr/x"
+        assert ns.to_workstation("/") == VICE_MOUNT
+
+    def test_is_shared(self, ns):
+        assert ns.is_shared("/vice/a")
+        assert ns.is_shared("/vice")
+        assert not ns.is_shared("/vicex")
+        assert not ns.is_shared("/etc")

@@ -1,0 +1,93 @@
+"""Unit tests for path manipulation."""
+
+import pytest
+
+from repro.errors import InvalidArgument
+from repro.storage import pathutil
+
+
+class TestNormalize:
+    def test_plain(self):
+        assert pathutil.normalize("/a/b/c") == "/a/b/c"
+
+    def test_root(self):
+        assert pathutil.normalize("/") == "/"
+
+    def test_trailing_slash(self):
+        assert pathutil.normalize("/a/b/") == "/a/b"
+
+    def test_double_slashes(self):
+        assert pathutil.normalize("//a///b") == "/a/b"
+
+    def test_dot_components(self):
+        assert pathutil.normalize("/a/./b/.") == "/a/b"
+
+    def test_dotdot(self):
+        assert pathutil.normalize("/a/b/../c") == "/a/c"
+
+    def test_dotdot_past_root(self):
+        assert pathutil.normalize("/../../a") == "/a"
+
+    def test_relative_rejected(self):
+        with pytest.raises(InvalidArgument):
+            pathutil.normalize("a/b")
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidArgument):
+            pathutil.normalize("")
+
+
+class TestComponents:
+    def test_basic(self):
+        assert pathutil.components("/a/b/c") == ["a", "b", "c"]
+
+    def test_root_empty(self):
+        assert pathutil.components("/") == []
+
+    def test_preserves_dotdot(self):
+        assert pathutil.components("/a/../b") == ["a", "..", "b"]
+
+    def test_relative(self):
+        assert pathutil.components("x/y") == ["x", "y"]
+
+
+class TestJoin:
+    def test_simple(self):
+        assert pathutil.join("/a", "b") == "/a/b"
+
+    def test_absolute_restart(self):
+        assert pathutil.join("/a", "/b") == "/b"
+
+    def test_trailing_slash_base(self):
+        assert pathutil.join("/", "x") == "/x"
+
+    def test_multiple(self):
+        assert pathutil.join("/a", "b", "c") == "/a/b/c"
+
+    def test_empty_args_rejected(self):
+        with pytest.raises(InvalidArgument):
+            pathutil.join()
+
+
+class TestSplit:
+    def test_basic(self):
+        assert pathutil.split("/a/b/c") == ("/a/b", "c")
+
+    def test_single_component(self):
+        assert pathutil.split("/a") == ("/", "a")
+
+    def test_root(self):
+        assert pathutil.split("/") == ("/", "")
+
+    def test_dirname_basename(self):
+        assert pathutil.dirname("/x/y/z") == "/x/y"
+        assert pathutil.basename("/x/y/z") == "z"
+        assert pathutil.dirname("/x") == "/"
+
+
+class TestIsAbs:
+    def test_absolute(self):
+        assert pathutil.is_abs("/a")
+
+    def test_relative(self):
+        assert not pathutil.is_abs("a/b")

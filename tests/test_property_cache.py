@@ -1,0 +1,87 @@
+"""Property-based tests: whole-file cache invariants under random traffic."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NoSpace
+from repro.sim import Simulator
+from repro.venus.cache import CacheEntry, WholeFileCache
+
+paths = st.sampled_from([f"/f{i}" for i in range(12)])
+sizes = st.integers(min_value=1, max_value=400)
+operations = st.lists(
+    st.tuples(st.sampled_from(["insert", "lookup", "remove", "invalidate"]), paths, sizes),
+    max_size=60,
+)
+
+
+def fresh_entry(path, size):
+    return CacheEntry(path, f"v.{path.strip('/f')}", b"d" * size, 1, {})
+
+
+@given(operations)
+@settings(max_examples=150)
+def test_count_policy_never_exceeds_limit_with_evictables(ops):
+    sim = Simulator()
+    cache = WholeFileCache(sim, policy="count", max_files=4)
+    for op, path, size in ops:
+        sim.now += 1.0  # advance LRU time artificially
+        if op == "insert":
+            cache.insert(fresh_entry(path, size))
+        elif op == "lookup":
+            cache.lookup(path)
+        elif op == "remove":
+            cache.remove(path)
+        elif op == "invalidate":
+            entry = cache.lookup(path)
+            if entry:
+                entry.callback_valid = False
+        assert len(cache) <= 4
+
+
+@given(operations)
+@settings(max_examples=150)
+def test_space_policy_never_exceeds_bytes(ops):
+    sim = Simulator()
+    cache = WholeFileCache(sim, policy="space", max_bytes=1000)
+    for op, path, size in ops:
+        sim.now += 1.0
+        if op == "insert":
+            try:
+                cache.insert(fresh_entry(path, size))
+            except NoSpace:
+                pass
+        elif op == "remove":
+            cache.remove(path)
+        assert cache.used_bytes <= 1000
+
+
+@given(operations)
+def test_fid_index_always_consistent(ops):
+    sim = Simulator()
+    cache = WholeFileCache(sim, policy="count", max_files=5)
+    for op, path, size in ops:
+        sim.now += 1.0
+        if op == "insert":
+            cache.insert(fresh_entry(path, size))
+        elif op == "remove":
+            cache.remove(path)
+    # Every entry is findable through its fid and vice versa.
+    for entry in cache:
+        assert cache.lookup_fid(entry.fid) is entry
+    assert len(cache._by_fid) == len(cache._entries)
+
+
+@given(operations)
+def test_used_bytes_matches_sum_of_entries(ops):
+    sim = Simulator()
+    cache = WholeFileCache(sim, policy="space", max_bytes=2000)
+    for op, path, size in ops:
+        sim.now += 1.0
+        if op == "insert":
+            try:
+                cache.insert(fresh_entry(path, size))
+            except NoSpace:
+                pass
+        elif op == "remove":
+            cache.remove(path)
+    assert cache.used_bytes == sum(entry.size for entry in cache)

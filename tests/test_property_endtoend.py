@@ -1,0 +1,99 @@
+"""Property-based end-to-end test: the whole stack against a dict oracle.
+
+Hypothesis drives random whole-file operations through a real campus
+(workstation → Venus → RPC → Vice) *and* through a trivially correct model;
+after every step the two worlds must agree.  Two workstations take turns so
+the cache-consistency machinery is constantly in play.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.errors import ReproError
+from tests.helpers import alice_session, run, small_campus
+
+HOME = "/vice/usr/alice"
+NAMES = [f"file{i}" for i in range(5)]
+
+
+class CampusMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.campus = small_campus(clusters=1, workstations_per_cluster=2)
+        self.sessions = [alice_session(self.campus, 0), alice_session(self.campus, 1)]
+        self.model = {}  # name -> bytes
+
+    # -- operations (ws chooses which workstation acts) -----------------------
+
+    @rule(ws=st.integers(0, 1), name=st.sampled_from(NAMES), data=st.binary(max_size=200))
+    def write(self, ws, name, data):
+        run(self.campus, self.sessions[ws].write_file(f"{HOME}/{name}", data))
+        self.model[name] = data
+
+    @rule(ws=st.integers(0, 1), name=st.sampled_from(NAMES))
+    def read(self, ws, name):
+        try:
+            observed = run(self.campus, self.sessions[ws].read_file(f"{HOME}/{name}"))
+            assert name in self.model, f"read of deleted/missing {name} succeeded"
+            assert observed == self.model[name]
+        except ReproError:
+            assert name not in self.model
+
+    @rule(ws=st.integers(0, 1), name=st.sampled_from(NAMES))
+    def delete(self, ws, name):
+        try:
+            run(self.campus, self.sessions[ws].unlink(f"{HOME}/{name}"))
+            assert name in self.model
+            del self.model[name]
+        except ReproError:
+            assert name not in self.model
+
+    @rule(ws=st.integers(0, 1), src=st.sampled_from(NAMES), dst=st.sampled_from(NAMES))
+    def rename(self, ws, src, dst):
+        if src == dst:
+            return
+        try:
+            run(self.campus, self.sessions[ws].rename(f"{HOME}/{src}", f"{HOME}/{dst}"))
+            assert src in self.model
+            self.model[dst] = self.model.pop(src)
+        except ReproError:
+            assert src not in self.model
+
+    @rule(ws=st.integers(0, 1), name=st.sampled_from(NAMES), extra=st.binary(min_size=1, max_size=50))
+    def append(self, ws, name, extra):
+        try:
+            run(self.campus, self.sessions[ws].append_file(f"{HOME}/{name}", extra))
+        except ReproError:
+            # append creates when missing in our open("a") semantics
+            raise
+        self.model[name] = self.model.get(name, b"") + extra
+
+    @rule()
+    def let_time_pass(self):
+        self.campus.run(until=self.campus.sim.now + 30.0)
+
+    # -- invariants -----------------------------------------------------------
+
+    @invariant()
+    def listings_match_everywhere(self):
+        expected = sorted(self.model)
+        for session in self.sessions:
+            names = run(self.campus, session.listdir(HOME))
+            assert sorted(names) == expected
+
+    @invariant()
+    def server_state_matches_model(self):
+        volume = self.campus.volume("u-alice")
+        server_files = {
+            path.lstrip("/"): node.data
+            for path, node in volume.fs.walk("/")
+            if node.file_type == "file"
+        }
+        assert server_files == self.model
+
+
+TestCampusMachine = CampusMachine.TestCase
+TestCampusMachine.settings = settings(
+    max_examples=25, stateful_step_count=12, deadline=None
+)

@@ -1,0 +1,86 @@
+"""Property-based tests: the mutual-authentication handshake."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import ClientHandshake, ServerHandshake, derive_user_key
+from repro.errors import AuthenticationFailure
+
+usernames = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1, max_size=24
+)
+passwords = st.text(min_size=0, max_size=32)
+entropies = st.binary(min_size=1, max_size=24)
+
+
+@given(usernames, passwords, entropies, entropies)
+@settings(max_examples=150)
+def test_honest_handshake_always_succeeds(username, password, e1, e2):
+    key = derive_user_key(username, password)
+    client = ClientHandshake(username, key, e1)
+    server = ServerHandshake(lambda u: {username: key}[u], e2)
+    name, hello = client.hello()
+    challenge = server.respond(name, hello)
+    confirm = client.verify_server(challenge)
+    server.verify_client(confirm)
+    assert client.session_key == server.session_key
+    assert client.session_key is not None
+
+
+@given(usernames, passwords, passwords, entropies)
+def test_wrong_password_never_succeeds(username, real_pw, guess_pw, entropy):
+    if real_pw == guess_pw:
+        return
+    real = derive_user_key(username, real_pw)
+    guess = derive_user_key(username, guess_pw)
+    client = ClientHandshake(username, guess, entropy)
+    server = ServerHandshake(lambda u: real, entropy + b"s")
+    name, hello = client.hello()
+    with pytest.raises(AuthenticationFailure):
+        server.respond(name, hello)
+
+
+@given(usernames, passwords, entropies, st.integers(0, 10_000), st.integers(1, 255))
+def test_tampered_challenge_never_accepted(username, password, entropy, position, flip):
+    key = derive_user_key(username, password)
+    client = ClientHandshake(username, key, entropy)
+    server = ServerHandshake(lambda u: key, entropy + b"s")
+    name, hello = client.hello()
+    challenge = bytearray(server.respond(name, hello))
+    challenge[position % len(challenge)] ^= flip
+    with pytest.raises(AuthenticationFailure):
+        client.verify_server(bytes(challenge))
+
+
+@given(usernames, passwords, entropies, entropies)
+def test_distinct_entropy_distinct_session_keys(username, password, e1, e2):
+    """Fresh nonces every connection: replaying yields different keys."""
+    if e1 == e2:
+        return
+    key = derive_user_key(username, password)
+
+    def complete(entropy):
+        client = ClientHandshake(username, key, entropy)
+        server = ServerHandshake(lambda u: key, entropy + b"|srv")
+        name, hello = client.hello()
+        confirm = client.verify_server(server.respond(name, hello))
+        server.verify_client(confirm)
+        return client.session_key
+
+    assert complete(e1) != complete(e2)
+
+
+@given(usernames, passwords, entropies)
+def test_wire_never_leaks_key_material(username, password, entropy):
+    key = derive_user_key(username, password)
+    client = ClientHandshake(username, key, entropy)
+    server = ServerHandshake(lambda u: key, entropy + b"s")
+    name, hello = client.hello()
+    challenge = server.respond(name, hello)
+    confirm = client.verify_server(challenge)
+    server.verify_client(confirm)
+    wire = hello + challenge + confirm
+    assert key not in wire
+    assert client.session_key not in wire
+    if len(password) >= 4:
+        assert password.encode() not in wire

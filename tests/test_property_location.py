@@ -1,0 +1,70 @@
+"""Property-based tests: the location database's longest-prefix contract."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import FileNotFound, InvalidArgument
+from repro.storage import pathutil
+from repro.vice.location import LocationDatabase
+
+segments = st.sampled_from(["usr", "proj", "unix", "a", "b"])
+mounts = st.lists(
+    st.lists(segments, min_size=0, max_size=3), min_size=1, max_size=8, unique_by=tuple
+)
+lookups = st.lists(st.lists(segments, min_size=0, max_size=5), min_size=1, max_size=10)
+
+
+def build_db(mount_lists):
+    db = LocationDatabase()
+    for index, parts in enumerate(mount_lists):
+        path = "/" + "/".join(parts)
+        try:
+            db.add(path, f"vol{index}", f"server{index % 3}")
+        except InvalidArgument:
+            pass  # duplicate mount path after normalization
+    return db
+
+
+@given(mounts, lookups)
+@settings(max_examples=200)
+def test_resolution_matches_bruteforce_longest_prefix(mount_lists, lookup_lists):
+    db = build_db(mount_lists)
+    known = {entry.mount_path: entry for entry in db.entries()}
+    for parts in lookup_lists:
+        path = pathutil.normalize("/" + "/".join(parts))
+        # Brute-force: the longest known mount that prefixes the path.
+        candidates = [
+            mount for mount in known
+            if path == mount or path.startswith(mount.rstrip("/") + "/") or mount == "/"
+        ]
+        try:
+            entry, rest = db.resolve(path)
+        except FileNotFound:
+            assert not candidates
+            continue
+        assert candidates
+        best = max(candidates, key=len)
+        assert entry.mount_path == best
+        # Reconstructing mount + rest gives back the path.
+        rebuilt = best if rest == "/" else (
+            rest if best == "/" else best + rest
+        )
+        assert pathutil.normalize(rebuilt) == path
+
+
+@given(mounts)
+def test_snapshot_roundtrip_preserves_resolution(mount_lists):
+    db = build_db(mount_lists)
+    replica = LocationDatabase()
+    replica.load_snapshot(db.snapshot())
+    for entry in db.entries():
+        probe = entry.mount_path.rstrip("/") + "/somefile"
+        assert replica.resolve(probe)[0].volume_id == db.resolve(probe)[0].volume_id
+
+
+@given(mounts)
+def test_every_volume_id_unique_and_reachable(mount_lists):
+    db = build_db(mount_lists)
+    ids = [entry.volume_id for entry in db.entries()]
+    assert len(ids) == len(set(ids))
+    for entry in db.entries():
+        assert db.entry_for_volume(entry.volume_id) is entry

@@ -1,0 +1,62 @@
+"""Property-based tests: marshalling round-trips arbitrary values."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.rpc import marshal
+
+# Values the wire format supports, nested a few levels deep.
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    st.floats(allow_nan=False),  # NaN != NaN breaks equality, by design
+    st.text(max_size=64),
+    st.binary(max_size=256),
+)
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=6),
+        st.dictionaries(st.text(max_size=16), children, max_size=6),
+    ),
+    max_leaves=25,
+)
+
+
+@given(values)
+@settings(max_examples=300)
+def test_roundtrip_identity(value):
+    assert marshal.loads(marshal.dumps(value)) == value
+
+
+@given(values)
+def test_wire_size_consistent(value):
+    assert marshal.wire_size(value) == len(marshal.dumps(value))
+
+
+@given(values, values)
+def test_encoding_injective_on_unequal_values(a, b):
+    if a != b:
+        assert marshal.dumps(a) != marshal.dumps(b)
+
+
+@given(st.binary(max_size=64))
+def test_arbitrary_bytes_never_crash_loads(data):
+    """loads() either returns a value or raises MarshalError — nothing else."""
+    try:
+        marshal.loads(data)
+    except marshal.MarshalError:
+        pass
+
+
+@given(values, st.integers(min_value=1, max_value=8))
+def test_truncation_always_detected(value, cut):
+    data = marshal.dumps(value)
+    if cut < len(data):
+        try:
+            decoded = marshal.loads(data[:-cut])
+        except marshal.MarshalError:
+            return
+        # Truncation may accidentally decode (e.g. shorter string), but it
+        # must never silently yield the original value.
+        assert decoded != value or marshal.dumps(decoded) != data

@@ -1,0 +1,97 @@
+"""Property-based tests: namespace classification under random symlinks."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.storage.unixfs import UnixFileSystem
+from repro.virtue.namespace import Namespace
+
+DIRS = ["etc", "home", "data"]
+LINK_TARGETS = ["/vice/unix/bin", "/vice/usr/x", "/etc", "/home", "/data",
+                "/missing", "loop"]
+
+link_specs = st.lists(
+    st.tuples(st.sampled_from(["l0", "l1", "l2", "loop"]), st.sampled_from(LINK_TARGETS)),
+    max_size=4,
+    unique_by=lambda spec: spec[0],
+)
+probes = st.lists(
+    st.sampled_from(
+        ["/etc/passwd", "/vice/x", "/l0", "/l0/sub", "/l1/deep/er", "/l2",
+         "/loop/x", "/home", "/data/file"]
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+def build_namespace(links):
+    fs = UnixFileSystem()
+    fs.makedirs("/vice")
+    for directory in DIRS:
+        fs.makedirs("/" + directory)
+    fs.create("/etc/passwd", b"root")
+    for name, target in links:
+        fs.symlink("/" + name, target)
+    return Namespace(fs)
+
+
+@given(link_specs, probes)
+@settings(max_examples=250)
+def test_classify_is_total_and_well_formed(links, paths):
+    """classify() always returns ('vice'|'local', absolute-path) or raises a
+    library error — never crashes, never returns a relative path."""
+    ns = build_namespace(links)
+    for path in paths:
+        try:
+            kind, resolved = ns.classify(path)
+        except ReproError:
+            continue
+        assert kind in ("vice", "local")
+        assert resolved.startswith("/")
+        if kind == "vice":
+            # Vice paths never keep the mount prefix.
+            assert not resolved.startswith("/vice/")
+
+
+@given(link_specs, probes)
+def test_classify_deterministic(links, paths):
+    ns = build_namespace(links)
+    for path in paths:
+        try:
+            first = ns.classify(path)
+        except ReproError as exc:
+            first = type(exc)
+        try:
+            second = ns.classify(path)
+        except ReproError as exc:
+            second = type(exc)
+        assert first == second
+
+
+@given(link_specs)
+def test_vice_paths_roundtrip(links):
+    ns = build_namespace(links)
+    for vice_path in ("/", "/usr/x", "/unix/sun/bin/cc"):
+        ws_path = ns.to_workstation(vice_path)
+        kind, back = ns.classify(ws_path)
+        assert kind == "vice"
+        assert back == vice_path
+
+
+@given(link_specs, probes)
+def test_local_results_resolve_in_local_fs(links, paths):
+    """A 'local' classification points at something the local FS can handle
+    (existing object, or a creatable leaf in an existing directory)."""
+    ns = build_namespace(links)
+    for path in paths:
+        try:
+            kind, resolved = ns.classify(path)
+        except ReproError:
+            continue
+        if kind != "local":
+            continue
+        from repro.storage import pathutil
+
+        parent = pathutil.dirname(resolved)
+        assert ns.local_fs.exists(parent), f"{resolved} has no parent dir"

@@ -1,0 +1,91 @@
+"""Property-based tests: routing invariants over random cluster topologies."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.net import Network
+from repro.sim import Simulator
+
+cluster_counts = st.integers(min_value=1, max_value=6)
+node_placements = st.lists(st.integers(min_value=0, max_value=5), min_size=2, max_size=10)
+
+
+def build_campus_net(clusters, placements):
+    """A backbone with ``clusters`` bridged segments and nodes placed on them."""
+    sim = Simulator()
+    net = Network(sim)
+    net.add_segment("backbone")
+    for index in range(clusters):
+        net.add_segment(f"cluster{index}")
+        net.add_bridge(f"bridge{index}", f"cluster{index}", "backbone")
+    nodes = []
+    for index, placement in enumerate(placements):
+        segment = f"cluster{placement % clusters}"
+        name = f"n{index}"
+        net.attach(name, segment)
+        nodes.append(name)
+    return sim, net, nodes
+
+
+@given(cluster_counts, node_placements)
+@settings(max_examples=150)
+def test_routes_start_and_end_correctly(clusters, placements):
+    _sim, net, nodes = build_campus_net(clusters, placements)
+    for src in nodes:
+        for dst in nodes:
+            route = net.route(src, dst)
+            assert route[0] is net.interfaces[src].segment
+            assert route[-1] is net.interfaces[dst].segment
+
+
+@given(cluster_counts, node_placements)
+@settings(max_examples=150)
+def test_hop_counts_symmetric_and_bounded(clusters, placements):
+    _sim, net, nodes = build_campus_net(clusters, placements)
+    for src in nodes:
+        for dst in nodes:
+            hops = net.hop_count(src, dst)
+            assert hops == net.hop_count(dst, src)
+            same = net.interfaces[src].segment is net.interfaces[dst].segment
+            # Same cluster: one segment. Cross-cluster: exactly via backbone.
+            assert hops == (1 if same else 3)
+
+
+@given(cluster_counts, node_placements)
+@settings(max_examples=100)
+def test_routes_never_repeat_segments(clusters, placements):
+    _sim, net, nodes = build_campus_net(clusters, placements)
+    for src in nodes:
+        for dst in nodes:
+            names = [segment.name for segment in net.route(src, dst)]
+            assert len(names) == len(set(names)), "route visited a segment twice"
+
+
+@given(cluster_counts, node_placements, st.integers(min_value=0, max_value=5))
+@settings(max_examples=100)
+def test_partition_cuts_exactly_the_partitioned_cluster(clusters, placements, victim):
+    from repro.errors import SimulationError
+
+    _sim, net, nodes = build_campus_net(clusters, placements)
+    victim_segment = f"cluster{victim % clusters}"
+    net.partition(victim_segment)
+    for src in nodes:
+        for dst in nodes:
+            src_seg = net.interfaces[src].segment.name
+            dst_seg = net.interfaces[dst].segment.name
+            cut = victim_segment in (src_seg, dst_seg) and src_seg != dst_seg
+            if src_seg == dst_seg:
+                # Intra-segment traffic never needs the bridges.
+                assert net.hop_count(src, dst) == 1
+            elif cut:
+                try:
+                    net.route(src, dst)
+                    assert False, "route through a partitioned segment"
+                except SimulationError:
+                    pass
+            else:
+                assert net.hop_count(src, dst) == 3
+    # Healing restores full connectivity.
+    net.heal(victim_segment)
+    for src in nodes:
+        for dst in nodes:
+            assert net.hop_count(src, dst) in (1, 3)

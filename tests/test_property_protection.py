@@ -1,0 +1,115 @@
+"""Property-based tests: invariants of the protection domain."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.vice.protection import AccessList, ProtectionDatabase
+
+USERS = ["u0", "u1", "u2"]
+GROUPS = ["g0", "g1", "g2", "g3"]
+RIGHT_STRINGS = st.text(alphabet="rwidlak", max_size=7)
+
+memberships = st.lists(
+    st.tuples(st.sampled_from(GROUPS), st.sampled_from(USERS + GROUPS)),
+    max_size=12,
+)
+acl_entries = st.lists(
+    st.tuples(
+        st.sampled_from(USERS + GROUPS + ["system:anyuser"]),
+        RIGHT_STRINGS,
+        st.booleans(),  # True = negative entry
+    ),
+    max_size=10,
+)
+
+
+def build_db(member_edges):
+    db = ProtectionDatabase()
+    for user in USERS:
+        db.add_user(user)
+    for group in GROUPS:
+        db.add_group(group)
+    for group, member in member_edges:
+        if group != member:
+            db.add_member(group, member)
+    return db
+
+
+def build_acl(entries):
+    acl = AccessList()
+    for principal, rights, negative in entries:
+        if negative:
+            acl.deny(principal, rights)
+        else:
+            acl.grant(principal, rights)
+    return acl
+
+
+@given(memberships)
+@settings(max_examples=150)
+def test_cps_contains_self_and_anyuser(member_edges):
+    db = build_db(member_edges)
+    for user in USERS:
+        cps = db.cps(user)
+        assert user in cps
+        assert "system:anyuser" in cps
+
+
+@given(memberships)
+def test_cps_is_transitively_closed(member_edges):
+    """If g is in the CPS and g is a member of h, then h is in the CPS."""
+    db = build_db(member_edges)
+    for user in USERS:
+        cps = db.cps(user)
+        for group, members in db.groups.items():
+            if any(member in cps for member in members):
+                assert group in cps
+
+
+@given(memberships, acl_entries)
+def test_adding_membership_never_shrinks_positive_rights(member_edges, entries):
+    """Positive grants are monotone in group membership (no negatives)."""
+    acl = build_acl([e for e in entries if not e[2]])  # positives only
+    db = build_db(member_edges)
+    before = {user: db.rights_on(acl, user) for user in USERS}
+    db.add_member(GROUPS[0], USERS[0])
+    after = db.rights_on(acl, USERS[0])
+    assert before[USERS[0]] <= after
+
+
+@given(memberships, acl_entries, RIGHT_STRINGS)
+def test_negative_entry_always_removes_rights(member_edges, entries, denied):
+    """After denying rights to a user directly, none of them remain —
+    regardless of what any group grants (rapid revocation works)."""
+    db = build_db(member_edges)
+    acl = build_acl(entries)
+    acl.deny(USERS[1], denied)
+    remaining = db.rights_on(acl, USERS[1])
+    assert not (set(denied) & remaining)
+
+
+@given(memberships, acl_entries)
+def test_effective_rights_subset_of_all_positive(member_edges, entries):
+    db = build_db(member_edges)
+    acl = build_acl(entries)
+    every_positive = set()
+    for rights in acl.positive.values():
+        every_positive |= rights
+    for user in USERS:
+        assert db.rights_on(acl, user) <= every_positive
+
+
+@given(acl_entries)
+def test_acl_dict_roundtrip(entries):
+    acl = build_acl(entries)
+    restored = AccessList.from_dict(acl.as_dict())
+    assert restored.positive == acl.positive
+    assert restored.negative == acl.negative
+
+
+@given(memberships)
+def test_snapshot_roundtrip_preserves_cps(member_edges):
+    db = build_db(member_edges)
+    replica = ProtectionDatabase()
+    replica.load_snapshot(db.snapshot())
+    for user in USERS:
+        assert replica.cps(user) == db.cps(user)

@@ -1,0 +1,129 @@
+"""Property-based tests: volume invariants under random operation streams."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.storage.unixfs import FileType
+from repro.vice.volume import Volume
+
+names = st.sampled_from([f"f{i}" for i in range(6)] + ["d0", "d1"])
+contents = st.binary(max_size=120)
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["create", "write", "unlink", "mkdir", "rename"]),
+        names,
+        names,
+        contents,
+    ),
+    max_size=40,
+)
+
+
+def apply_ops(volume, ops):
+    for op, name_a, name_b, data in ops:
+        try:
+            if op == "create":
+                volume.create_file(f"/{name_a}", data, owner="u")
+            elif op == "write":
+                volume.write(f"/{name_a}", data, owner="u")
+            elif op == "unlink":
+                volume.unlink(f"/{name_a}")
+            elif op == "mkdir":
+                volume.mkdir(f"/{name_a}", owner="u")
+            elif op == "rename":
+                volume.rename(f"/{name_a}", f"/{name_b}")
+        except ReproError:
+            pass  # collisions/missing targets are fine; invariants must hold
+
+
+@given(operations)
+@settings(max_examples=120)
+def test_used_bytes_always_matches_tree(ops):
+    volume = Volume("v", "test", owner="u")
+    apply_ops(volume, ops)
+    actual = sum(
+        len(node.data)
+        for _path, node in volume.fs.walk("/")
+        if node.file_type == FileType.FILE
+    )
+    assert volume.used_bytes == actual
+
+
+@given(operations)
+@settings(max_examples=120)
+def test_vnode_index_always_complete_and_exact(ops):
+    volume = Volume("v", "test", owner="u")
+    apply_ops(volume, ops)
+    reachable = {node.number for _path, node in volume.fs.walk("/")}
+    assert set(volume._inodes) == reachable
+    for _path, node in volume.fs.walk("/"):
+        assert volume.inode_by_vnode(node.number) is node
+
+
+@given(operations)
+@settings(max_examples=120)
+def test_path_of_inverts_resolution(ops):
+    volume = Volume("v", "test", owner="u")
+    apply_ops(volume, ops)
+    for path, node in volume.fs.walk("/"):
+        assert volume.path_of(node.number) == path
+
+
+@given(operations)
+@settings(max_examples=120)
+def test_every_directory_has_an_acl(ops):
+    volume = Volume("v", "test", owner="u")
+    apply_ops(volume, ops)
+    for _path, node in volume.fs.walk("/"):
+        if node.file_type == FileType.DIRECTORY:
+            assert node.number in volume.acls
+
+
+@given(operations, st.integers(min_value=50, max_value=400))
+@settings(max_examples=120)
+def test_quota_never_exceeded(ops, quota):
+    volume = Volume("v", "test", owner="u", quota_bytes=quota)
+    apply_ops(volume, ops)
+    assert volume.used_bytes <= quota
+
+
+@given(operations)
+@settings(max_examples=60)
+def test_snapshot_roundtrip_after_any_history(ops):
+    volume = Volume("v", "test", owner="u")
+    apply_ops(volume, ops)
+    restored = Volume.from_snapshot(volume.snapshot())
+    original = {
+        path: node.data
+        for path, node in volume.fs.walk("/")
+        if node.file_type == FileType.FILE
+    }
+    recovered = {
+        path: node.data
+        for path, node in restored.fs.walk("/")
+        if node.file_type == FileType.FILE
+    }
+    assert original == recovered
+    assert restored.used_bytes == volume.used_bytes
+
+
+@given(operations)
+@settings(max_examples=60)
+def test_salvage_of_healthy_volume_is_a_noop(ops):
+    volume = Volume("v", "test", owner="u")
+    apply_ops(volume, ops)
+    before = {
+        path: node.data
+        for path, node in volume.fs.walk("/")
+        if node.file_type == FileType.FILE
+    }
+    volume.take_offline()
+    report = volume.salvage()
+    assert all(count == 0 for count in report.values())
+    volume.bring_online()
+    after = {
+        path: node.data
+        for path, node in volume.fs.walk("/")
+        if node.file_type == FileType.FILE
+    }
+    assert before == after

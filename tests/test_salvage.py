@@ -1,0 +1,121 @@
+"""Tests for volume salvage after a server crash (§5.3)."""
+
+import pytest
+
+from repro.errors import InvalidArgument, ServerUnavailable
+from repro.rpc.costs import RpcCosts
+from repro.vice.volume import Volume
+from tests.helpers import alice_session, run, small_campus
+
+HOME = "/vice/usr/alice"
+
+
+def build_volume():
+    volume = Volume("v", "salvage-me", owner="alice")
+    volume.mkdir("/d", owner="alice")
+    volume.create_file("/d/f", b"12345", owner="alice")
+    volume.create_file("/top", b"abc", owner="alice")
+    return volume
+
+
+class TestVolumeSalvage:
+    def test_clean_volume_reports_zeros(self):
+        volume = build_volume()
+        volume.take_offline()
+        report = volume.salvage()
+        assert all(count == 0 for count in report.values())
+
+    def test_requires_offline(self):
+        volume = build_volume()
+        with pytest.raises(InvalidArgument):
+            volume.salvage()
+
+    def test_rebuilds_corrupted_index(self):
+        volume = build_volume()
+        node = volume.resolve("/d/f")
+        # Simulated crash damage: a dangling index entry and a lost one.
+        volume._inodes[99999] = node
+        del volume._inodes[node.number]
+        volume.take_offline()
+        report = volume.salvage()
+        assert report["dangling_index_entries"] == 1
+        assert report["missing_index_entries"] == 1
+        volume.bring_online()
+        assert volume.inode_by_vnode(node.number).data == b"12345"
+
+    def test_repairs_byte_accounting(self):
+        volume = build_volume()
+        volume.used_bytes = 10**6  # corrupted by the crash
+        volume.take_offline()
+        report = volume.salvage()
+        assert report["byte_accounting_drift"] > 0
+        assert volume.used_bytes == 8  # 5 + 3 actual bytes
+
+    def test_reinherits_missing_acl(self):
+        volume = build_volume()
+        d = volume.resolve("/d")
+        volume.acls[volume.fs.root.number].grant("howard", "rl")
+        del volume.acls[d.number]
+        volume.take_offline()
+        report = volume.salvage()
+        assert report["missing_acls"] == 1
+        assert volume.acls[d.number].positive["howard"] == frozenset("rl")
+
+    def test_repairs_parent_links(self):
+        volume = build_volume()
+        node = volume.resolve("/d/f")
+        volume._parents[node.number] = volume.fs.root.number  # wrong
+        volume.take_offline()
+        report = volume.salvage()
+        assert report["wrong_parent_links"] == 1
+        assert volume.path_of(node.number) == "/d/f"
+
+    def test_salvage_preserves_data(self):
+        volume = build_volume()
+        volume.take_offline()
+        volume.salvage()
+        volume.bring_online()
+        assert volume.read("/d/f") == b"12345"
+        assert volume.read("/top") == b"abc"
+
+
+class TestServerSalvage:
+    def test_crash_salvage_recover_cycle(self):
+        campus = small_campus(rpc_costs=RpcCosts(retransmit_timeout=0.5, max_retries=1))
+        session = alice_session(campus, 0)
+        run(campus, session.write_file(f"{HOME}/f", b"before crash"))
+        server = campus.server(0)
+
+        server.host.crash()
+        campus.workstation(0).venus.invalidate_all()
+        with pytest.raises(ServerUnavailable):
+            run(campus, session.read_file(f"{HOME}/f"))
+
+        # Operator reboots the machine and salvages before opening service.
+        server.host.recover()
+        reports = run(campus, server.salvage_all())
+        assert "u-alice" in reports
+        assert all(v == 0 for v in reports["u-alice"].values())  # clean crash
+        assert server.callbacks.state_size == 0  # promises did not survive
+
+        assert run(campus, session.read_file(f"{HOME}/f")) == b"before crash"
+
+    def test_salvage_repairs_damage_under_protocol(self):
+        campus = small_campus()
+        session = alice_session(campus, 0)
+        run(campus, session.write_file(f"{HOME}/f", b"data"))
+        server = campus.server(0)
+        volume = server.volumes["u-alice"]
+        volume.used_bytes += 12345  # crash-induced drift
+        server.host.crash()
+        server.host.recover()
+        reports = run(campus, server.salvage_all())
+        assert reports["u-alice"]["byte_accounting_drift"] == 12345
+        assert volume.used_bytes == 4
+
+    def test_salvage_covers_every_volume(self):
+        campus = small_campus()
+        campus.create_volume("/extra", custodian=0, volume_id="extra")
+        server = campus.server(0)
+        reports = run(campus, server.salvage_all())
+        assert set(reports) >= {"root", "u-alice", "extra"}

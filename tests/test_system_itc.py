@@ -1,0 +1,126 @@
+"""Tests for the ITCSystem facade: setup-time administration and metrics."""
+
+import pytest
+
+from repro import ITCSystem, SystemConfig
+from repro.errors import InvalidArgument
+from repro.vice.protection import AccessList
+from tests.helpers import run
+
+
+@pytest.fixture
+def campus():
+    return ITCSystem(SystemConfig(clusters=2, workstations_per_cluster=2))
+
+
+class TestConstruction:
+    def test_topology_matches_config(self, campus):
+        assert len(campus.servers) == 2
+        assert len(campus.workstations) == 4
+        assert campus.config.total_workstations == 4
+        assert "backbone" in campus.network.segments
+        assert "cluster1" in campus.network.segments
+
+    def test_lookup_by_name_and_index(self, campus):
+        assert campus.workstation("ws1-0") is campus.workstation(2)
+        assert campus.server("server1") is campus.server(1)
+
+    def test_root_volume_mounted(self, campus):
+        entry, rest = campus.servers[0].location.resolve("/anything")
+        assert entry.volume_id == "root"
+
+    def test_databases_replicated_at_all_servers(self, campus):
+        campus.add_user("u", "pw")
+        for server in campus.servers:
+            assert server.protection.is_user("u")
+            assert server.location.version == campus.servers[0].location.version
+
+
+class TestVolumeAdministration:
+    def test_create_volume_makes_stub_dirs(self, campus):
+        campus.create_volume("/a/b/c", custodian=1, volume_id="deep")
+        root = campus.volume("root")
+        assert root.fs.exists("/a/b/c")
+        entry, rest = campus.servers[0].location.resolve("/a/b/c/file")
+        assert entry.volume_id == "deep"
+        assert rest == "/file"
+
+    def test_nested_mounts_resolve_to_deepest(self, campus):
+        campus.create_volume("/proj", custodian=0, volume_id="proj")
+        campus.create_volume("/proj/sub", custodian=1, volume_id="projsub")
+        entry, _ = campus.servers[0].location.resolve("/proj/sub/x")
+        assert entry.volume_id == "projsub"
+        entry, _ = campus.servers[0].location.resolve("/proj/other")
+        assert entry.volume_id == "proj"
+
+    def test_user_volume_lands_in_requested_cluster(self, campus):
+        campus.add_user("u", "pw")
+        campus.create_user_volume("u", cluster=1)
+        assert "u-u" in campus.server(1).volumes
+        assert campus.servers[0].location.custodian_of("/usr/u") == "server1"
+
+    def test_populate_builds_directories(self, campus):
+        volume = campus.create_volume("/data", custodian=0, volume_id="data")
+        campus.populate(volume, {"/x/y/z.txt": b"deep", "/top.txt": b"shallow"})
+        assert volume.read("/x/y/z.txt") == b"deep"
+        assert volume.read("/top.txt") == b"shallow"
+
+    def test_volume_lookup_missing(self, campus):
+        with pytest.raises(InvalidArgument):
+            campus.volume("ghost")
+
+    def test_set_directory_acl(self, campus):
+        campus.add_user("u", "pw")
+        volume = campus.create_user_volume("u")
+        acl = AccessList()
+        acl.grant("u", "rwidlak")
+        campus.set_directory_acl(volume, "/", acl)
+        assert "system:anyuser" not in volume.acls[volume.fs.root.number].positive
+
+
+class TestMetrics:
+    def test_reset_counters(self, campus):
+        campus.add_user("u", "pw")
+        campus.create_user_volume("u")
+        session = campus.login(0, "u", "pw")
+        run(campus, session.write_file("/vice/usr/u/f", b"x"))
+        assert campus.server(0).call_mix.total > 0
+        campus.reset_counters()
+        assert campus.server(0).call_mix.total == 0
+        assert campus.workstation(0).venus.cache.hits == 0
+
+    def test_mean_hit_ratio_empty(self, campus):
+        assert campus.mean_hit_ratio() == 0.0
+
+    def test_campus_call_mix_empty(self, campus):
+        assert campus.campus_call_mix() == {}
+
+    def test_busiest_server_defined(self, campus):
+        server, utilization = campus.busiest_server()
+        assert server in campus.servers
+        assert utilization >= 0.0
+
+    def test_cross_cluster_bytes_counts_backbone_only(self, campus):
+        campus.add_user("u", "pw")
+        campus.create_user_volume("u", cluster=0)
+        local = campus.login("ws0-0", "u", "pw")
+        run(campus, local.write_file("/vice/usr/u/f", b"y" * 1000))
+        assert campus.cross_cluster_bytes() == 0  # all intra-cluster
+        remote = campus.login("ws1-0", "u", "pw")
+        run(campus, remote.read_file("/vice/usr/u/f"))
+        assert campus.cross_cluster_bytes() > 0
+
+
+class TestConfig:
+    def test_with_override(self):
+        config = SystemConfig().with_(clusters=5)
+        assert config.clusters == 5
+        assert config.mode == "revised"
+
+    def test_prototype_and_revised_helpers(self):
+        assert SystemConfig.prototype().mode == "prototype"
+        assert SystemConfig.revised().mode == "revised"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(Exception):
+            ITCSystem(SystemConfig(mode="quantum"))

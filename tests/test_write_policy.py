@@ -1,0 +1,100 @@
+"""Tests for the §3.2 write-back policy choice: store-on-close vs deferred."""
+
+import pytest
+
+from repro.errors import InvalidArgument
+from tests.helpers import alice_session, run, small_campus
+
+HOME = "/vice/usr/alice"
+
+
+def deferred_campus(delay=10.0, **overrides):
+    return small_campus(write_policy="deferred", flush_delay=delay, **overrides)
+
+
+class TestStoreOnClose:
+    def test_default_policy_is_on_close(self):
+        campus = small_campus()
+        assert campus.workstation(0).venus.write_policy == "on-close"
+
+    def test_close_stores_immediately(self):
+        campus = small_campus()
+        session = alice_session(campus)
+        run(campus, session.write_file(f"{HOME}/f", b"now"))
+        assert campus.volume("u-alice").read("/f") == b"now"
+
+
+class TestDeferredWriteBack:
+    def test_close_does_not_store_immediately(self):
+        campus = deferred_campus(delay=10.0)
+        session = alice_session(campus)
+        run(campus, session.write_file(f"{HOME}/f", b"later"))
+        from repro.errors import FileNotFound
+
+        with pytest.raises(FileNotFound):
+            campus.volume("u-alice").read("/f")
+
+    def test_flush_happens_after_delay(self):
+        campus = deferred_campus(delay=10.0)
+        session = alice_session(campus)
+        run(campus, session.write_file(f"{HOME}/f", b"later"))
+        campus.run(until=campus.sim.now + 30.0)
+        assert campus.volume("u-alice").read("/f") == b"later"
+
+    def test_reads_see_own_writes_before_flush(self):
+        campus = deferred_campus(delay=60.0)
+        session = alice_session(campus)
+        run(campus, session.write_file(f"{HOME}/f", b"mine"))
+        assert run(campus, session.read_file(f"{HOME}/f")) == b"mine"
+
+    def test_closes_coalesce_into_one_store(self):
+        """The deferred policy's one advantage: repeated saves cost one
+        store ("reduce server loads ... slower updates")."""
+        campus = deferred_campus(delay=10.0)
+        session = alice_session(campus)
+        for revision in range(5):
+            run(campus, session.write_file(f"{HOME}/f", b"rev%d" % revision))
+        campus.run(until=campus.sim.now + 60.0)
+        assert campus.volume("u-alice").read("/f") == b"rev4"
+        server = campus.server(0)
+        assert server.call_mix.count("store") <= 2
+        assert campus.workstation(0).venus.coalesced_stores >= 3
+
+    def test_crash_before_flush_loses_more(self):
+        """The paper's reason for rejecting deferral: crash recovery.
+
+        Store-on-close loses only open files; deferral loses every close
+        inside the window.
+        """
+        campus = deferred_campus(delay=100.0)
+        session = alice_session(campus)
+        run(campus, session.write_file(f"{HOME}/f", b"doomed"))
+        campus.workstation(0).crash()  # before the flush fires
+        campus.workstation(0).recover()
+        from repro.errors import FileNotFound
+
+        with pytest.raises(FileNotFound):
+            campus.volume("u-alice").read("/f")
+
+    def test_other_workstations_stale_until_flush(self):
+        """Deferral breaks "changes by one user are immediately visible"."""
+        campus = deferred_campus(delay=50.0, workstations_per_cluster=2)
+        writer = alice_session(campus, 0)
+        reader = alice_session(campus, 1)
+        run(campus, writer.write_file(f"{HOME}/f", b"v1"))
+        campus.run(until=campus.sim.now + 60.0)  # v1 flushes
+        run(campus, writer.write_file(f"{HOME}/f", b"v2"))  # deferred
+        assert run(campus, reader.read_file(f"{HOME}/f")) == b"v1"  # stale!
+        campus.run(until=campus.sim.now + 60.0)
+        assert run(campus, reader.read_file(f"{HOME}/f")) == b"v2"
+
+    def test_flush_all_writes_through_now(self):
+        campus = deferred_campus(delay=1000.0)
+        session = alice_session(campus)
+        run(campus, session.write_file(f"{HOME}/f", b"urgent"))
+        run(campus, campus.workstation(0).venus.flush_all("alice"))
+        assert campus.volume("u-alice").read("/f") == b"urgent"
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(InvalidArgument):
+            small_campus(write_policy="psychic")
