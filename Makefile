@@ -1,0 +1,22 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: check test bench-smoke bench results
+
+# Tier-1 gate: the full test suite plus the microbenchmark time budgets.
+# A >2x wall-clock regression in the kernel or cipher fails bench-smoke.
+check: test bench-smoke
+
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+bench-smoke:
+	$(PYTHON) benchmarks/bench_kernel.py --smoke
+
+# The tracked wall-clock harness (writes benchmarks/results/BENCH_<date>.json).
+bench:
+	$(PYTHON) benchmarks/run_all.py --json
+
+# Regenerate every EXP-* evaluation table.
+results:
+	$(PYTHON) -m pytest benchmarks/ -q --benchmark-disable

@@ -1,0 +1,177 @@
+"""Microbenchmarks for the simulation kernel and the session crypto.
+
+Unlike the EXP-* benches, these measure **wall-clock** cost of the hot
+machinery itself: event churn through the heap, resource claim/release,
+and sealing/unsealing file payloads.  They exist to keep the fast paths
+fast — ``--smoke`` runs scaled-down versions under absolute time budgets
+(set at roughly 2-3x the current cost on the reference container) so a
+>2x regression fails loudly in CI.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py           # full run
+    PYTHONPATH=src python benchmarks/bench_kernel.py --smoke   # CI budget
+    pytest benchmarks/bench_kernel.py                          # via pytest-benchmark
+"""
+
+import argparse
+import os
+import sys
+import time
+
+if __package__ is None or __package__ == "":  # running as a script
+    _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)
+
+from repro.crypto.cipher import SessionCipher, seal, unseal
+from repro.sim.kernel import Simulator
+from repro.sim.resources import Resource
+
+__all__ = ["run_microbenchmarks"]
+
+_KEY = bytes(range(32))
+
+
+# ----------------------------------------------------------------------
+# kernel churn
+# ----------------------------------------------------------------------
+
+def event_churn(processes: int = 200, hops: int = 100) -> float:
+    """Wall seconds to drive ``processes`` generators through ``hops`` timeouts."""
+    sim = Simulator()
+
+    def hopper(delay):
+        for _ in range(hops):
+            yield sim.timeout(delay)
+
+    for index in range(processes):
+        sim.process(hopper(0.001 * (index + 1)))
+    start = time.perf_counter()
+    sim.run()
+    return time.perf_counter() - start
+
+
+def resource_churn(processes: int = 50, claims: int = 200) -> float:
+    """Wall seconds for contended claim/hold/release cycles on one resource."""
+    sim = Simulator()
+    cpu = Resource(sim, capacity=1, name="bench-cpu")
+
+    def worker():
+        for _ in range(claims):
+            yield from cpu.use(0.001)
+
+    for _ in range(processes):
+        sim.process(worker())
+    start = time.perf_counter()
+    sim.run()
+    return time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# session crypto
+# ----------------------------------------------------------------------
+
+def crypto_seal_unseal(size: int = 65_536, repeats: int = 20) -> float:
+    """Wall seconds to seal+unseal ``repeats`` distinct ``size``-byte buffers.
+
+    Each repeat uses a distinct nonce so the keystream cache cannot hide
+    the derivation cost: this is the cold per-transfer price.
+    """
+    data = os.urandom(size)
+    start = time.perf_counter()
+    for counter in range(repeats):
+        nonce = counter.to_bytes(8, "big")
+        sealed = seal(_KEY, nonce, data)
+        unseal(_KEY, sealed)
+    return time.perf_counter() - start
+
+
+def session_roundtrip(size: int = 65_536, messages: int = 50) -> float:
+    """Wall seconds for the in-process SealedPayload fast path, end to end."""
+    data = os.urandom(size)
+    sender = SessionCipher(_KEY, direction=0)
+    receiver = SessionCipher(_KEY, direction=0)
+    start = time.perf_counter()
+    for _ in range(messages):
+        sealed = sender.seal_payload(data)
+        receiver.open_payload(sealed)
+    return time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# harness
+# ----------------------------------------------------------------------
+
+_FULL = {
+    "event_churn": lambda: event_churn(),
+    "resource_churn": lambda: resource_churn(),
+    "crypto_seal_unseal_64k": lambda: crypto_seal_unseal(),
+    "session_roundtrip_64k": lambda: session_roundtrip(),
+}
+
+# Scaled-down variants with absolute wall-clock budgets (seconds).  The
+# budgets sit at ~2.5x the best-of-3 cost measured on the reference
+# container, so a genuine >2x slowdown trips them while ordinary machine
+# noise does not.
+_SMOKE = {
+    "event_churn": (lambda: event_churn(processes=100, hops=100), 0.035),
+    "resource_churn": (lambda: resource_churn(processes=50, claims=100), 0.045),
+    "crypto_seal_unseal_64k": (lambda: crypto_seal_unseal(repeats=10), 0.035),
+    "session_roundtrip_64k": (lambda: session_roundtrip(messages=25), 0.075),
+}
+
+
+def run_microbenchmarks(best_of: int = 3) -> dict:
+    """Run every microbenchmark; returns ``{name: best_wall_seconds}``."""
+    return {
+        name: min(func() for _ in range(best_of)) for name, func in _FULL.items()
+    }
+
+
+def run_smoke() -> int:
+    """Scaled-down run under time budgets; returns a process exit code."""
+    failures = 0
+    for name, (func, budget) in _SMOKE.items():
+        best = min(func() for _ in range(3))
+        verdict = "ok" if best <= budget else "TOO SLOW"
+        if best > budget:
+            failures += 1
+        print(f"  {name:28s} {best * 1000:8.2f} ms  (budget {budget * 1000:.0f} ms)  {verdict}")
+    if failures:
+        print(f"{failures} microbenchmark(s) exceeded their time budget")
+    return 1 if failures else 0
+
+
+# -- pytest-benchmark integration --------------------------------------
+
+def test_kernel_event_churn(benchmark):
+    benchmark.pedantic(event_churn, rounds=3, iterations=1, warmup_rounds=1)
+
+
+def test_kernel_resource_churn(benchmark):
+    benchmark.pedantic(resource_churn, rounds=3, iterations=1, warmup_rounds=1)
+
+
+def test_crypto_seal_unseal(benchmark):
+    benchmark.pedantic(crypto_seal_unseal, rounds=3, iterations=1, warmup_rounds=1)
+
+
+def test_session_roundtrip(benchmark):
+    benchmark.pedantic(session_roundtrip, rounds=3, iterations=1, warmup_rounds=1)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="scaled-down run with hard time budgets (CI)")
+    args = parser.parse_args()
+    if args.smoke:
+        return run_smoke()
+    for name, seconds in run_microbenchmarks().items():
+        print(f"  {name:28s} {seconds * 1000:8.2f} ms")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

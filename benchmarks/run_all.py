@@ -1,0 +1,166 @@
+"""Tracked wall-clock benchmark harness.
+
+Runs the wall-clock-relevant experiments (EXP-4 Andrew, EXP-5 scalability,
+EXP-11 encryption) plus the kernel/crypto microbenchmarks, and records both
+
+* **wall seconds** — how long the simulation itself takes to execute, the
+  quantity the fast paths in ``repro.sim`` and ``repro.crypto`` exist to
+  shrink; and
+* **virtual seconds** — the simulated results, which must NOT move when
+  only wall-clock work is optimised.
+
+``--json`` writes ``benchmarks/results/BENCH_<date>.json`` so successive
+commits can be compared (see docs/performance.md).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py          # print summary
+    PYTHONPATH=src python benchmarks/run_all.py --json   # also write BENCH_<date>.json
+"""
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+
+if __package__ is None or __package__ == "":  # running as a script
+    _HERE = os.path.dirname(os.path.abspath(__file__))
+    _SRC = os.path.join(os.path.dirname(_HERE), "src")
+    for _path in (_SRC, _HERE):
+        if _path not in sys.path:
+            sys.path.insert(0, _path)
+
+from repro.rpc.costs import EncryptionMode
+
+from _common import RESULTS_DIR, run_andrew
+from bench_encryption import run_mode
+from bench_kernel import run_microbenchmarks
+from bench_scalability import run_concurrent
+
+
+def _timed(func):
+    start = time.perf_counter()
+    value = func()
+    return value, time.perf_counter() - start
+
+
+def bench_exp4() -> dict:
+    """EXP-4: the three Andrew benchmark variants."""
+    variants = {}
+    for label, kwargs in (
+        ("local", {"mode": "prototype", "remote": False}),
+        ("proto_remote", {"mode": "prototype", "remote": True}),
+        ("revised_remote", {"mode": "revised", "remote": True}),
+    ):
+        (_campus, result), wall = _timed(lambda kw=kwargs: run_andrew(**kw))
+        variants[label] = {
+            "wall_seconds": round(wall, 3),
+            "virtual_total_seconds": round(result.total_seconds, 3),
+        }
+    return variants
+
+
+def bench_exp5() -> dict:
+    """EXP-5: concurrent clients against one prototype server."""
+    sweep = {}
+    for clients in (1, 2, 4, 8):
+        row, wall = _timed(lambda n=clients: run_concurrent(n))
+        sweep[str(clients)] = {
+            "wall_seconds": round(wall, 3),
+            "virtual_mean_seconds": round(row["mean_seconds"], 3),
+            "server_cpu": round(row["server_cpu"], 4),
+        }
+    return sweep
+
+
+def bench_exp11() -> dict:
+    """EXP-11: cold fetches under each encryption mode."""
+    modes = {}
+    for mode in (EncryptionMode.NONE, EncryptionMode.HARDWARE, EncryptionMode.SOFTWARE):
+        timings, wall = _timed(lambda m=mode: run_mode(m))
+        modes[mode] = {
+            "wall_seconds": round(wall, 3),
+            "virtual_seconds_by_size": {str(k): round(v, 4) for k, v in timings.items()},
+        }
+    return modes
+
+
+def collect() -> dict:
+    """Run everything; returns the full report structure."""
+    report = {
+        "date": datetime.date.today().isoformat(),
+        "python": platform.python_version(),
+        "commit": _git_commit(),
+        "experiments": {},
+    }
+    print("EXP-4 (Andrew benchmark)...")
+    report["experiments"]["EXP-4"] = bench_exp4()
+    print("EXP-5 (scalability sweep)...")
+    report["experiments"]["EXP-5"] = bench_exp5()
+    print("EXP-11 (encryption modes)...")
+    report["experiments"]["EXP-11"] = bench_exp11()
+    print("microbenchmarks...")
+    report["microbenchmarks"] = {
+        name: round(seconds, 4) for name, seconds in run_microbenchmarks().items()
+    }
+    return report
+
+
+def _git_commit() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+        return out.stdout.strip() or "unknown"
+    except OSError:  # pragma: no cover - git always present in the repo
+        return "unknown"
+
+
+def summarize(report: dict) -> str:
+    lines = [f"benchmark run {report['date']} (python {report['python']}, "
+             f"commit {report['commit']})", ""]
+    for exp, entries in report["experiments"].items():
+        total_wall = sum(entry["wall_seconds"] for entry in entries.values())
+        lines.append(f"{exp}: {total_wall:.2f} wall seconds total")
+        for label, entry in entries.items():
+            virtual = (
+                entry.get("virtual_total_seconds")
+                or entry.get("virtual_mean_seconds")
+                or entry.get("virtual_seconds_by_size")
+            )
+            lines.append(f"  {label:16s} wall {entry['wall_seconds']:7.3f} s"
+                         f"   virtual {virtual}")
+    lines.append("microbenchmarks (best of 3):")
+    for name, seconds in report["microbenchmarks"].items():
+        lines.append(f"  {name:28s} {seconds * 1000:8.2f} ms")
+    return "\n".join(lines)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", action="store_true",
+                        help="write benchmarks/results/BENCH_<date>.json")
+    args = parser.parse_args()
+
+    report = collect()
+    print()
+    print(summarize(report))
+
+    if args.json:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, f"BENCH_{report['date']}.json")
+        with open(path, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

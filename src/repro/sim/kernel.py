@@ -15,11 +15,21 @@ generator-process model, specialised to what the ITC system needs:
 
 Virtual time is a ``float`` in **seconds**; the paper's quantities (a 1000 s
 benchmark, 8-hour utilization windows) are all naturally expressed in it.
+
+The kernel is the simulation's hottest code: every RPC, disk transfer and
+user think-time passes through :meth:`Simulator.step`.  The implementation
+therefore trades a little uniformity for allocation- and lookup-light hot
+paths (processes schedule their own start instead of allocating a separate
+init event, ``run`` drives an inlined loop, timeouts skip the generic event
+constructor) without changing any observable ordering: events still fire in
+(time, creation-sequence) order, so seeded runs are byte-identical to the
+original kernel's.
 """
 
 from __future__ import annotations
 
-import heapq
+import logging
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from repro.errors import Interrupt, SimulationError
@@ -31,6 +41,8 @@ __all__ = [
     "Condition",
     "Simulator",
 ]
+
+_log = logging.getLogger("repro.sim")
 
 
 class Event:
@@ -83,7 +95,9 @@ class Event:
             raise SimulationError(f"{self!r} has already been triggered")
         self._triggered = True
         self._value = value
-        self.sim._schedule(self, 0.0)
+        sim = self.sim
+        sim._sequence += 1
+        heappush(sim._heap, (sim.now, sim._sequence, self))
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -94,7 +108,9 @@ class Event:
             raise SimulationError("fail() requires an exception instance")
         self._triggered = True
         self._exc = exc
-        self.sim._schedule(self, 0.0)
+        sim = self.sim
+        sim._sequence += 1
+        heappush(sim._heap, (sim.now, sim._sequence, self))
         return self
 
     def defuse(self) -> "Event":
@@ -106,12 +122,14 @@ class Event:
 
     def _process(self) -> None:
         """Run callbacks; called by the kernel when the event fires."""
-        callbacks, self.callbacks = self.callbacks, None
-        if self._exc is not None and not callbacks and not self._defused:
-            self.sim._orphan_failures.append(self)
-        for callback in callbacks or ():
+        callbacks = self.callbacks
+        self.callbacks = None
+        if callbacks:
             self._defused = True
-            callback(self)
+            for callback in callbacks:
+                callback(self)
+        elif self._exc is not None and not self._defused:
+            self.sim._orphan_failures.append(self)
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
         """Attach ``callback``; runs immediately if already processed."""
@@ -133,24 +151,27 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay!r}")
-        super().__init__(sim)
-        self.delay = delay
-        self._triggered = True
+        # Inlined Event.__init__: timeouts are the most-allocated event kind.
+        self.sim = sim
+        self.callbacks = []
         self._value = value
-        sim._schedule(self, delay)
-
-
-class _Initialize(Event):
-    """Internal event that starts a process at the instant it was created."""
-
-    __slots__ = ()
-
-    def __init__(self, sim: "Simulator", process: "Process"):
-        super().__init__(sim)
+        self._exc = None
         self._triggered = True
-        self._value = None
-        self.callbacks.append(process._resume)
-        sim._schedule(self, 0.0)
+        self._defused = False
+        self.delay = delay
+        sim._sequence += 1
+        heappush(sim._heap, (sim.now + delay, sim._sequence, self))
+
+
+class _InitSignal:
+    """Shared pseudo-event delivered to a process's first resume."""
+
+    _exc: Optional[BaseException] = None
+    _value: Any = None
+    _defused = True
+
+
+_INIT = _InitSignal()
 
 
 class Process(Event):
@@ -162,7 +183,7 @@ class Process(Event):
     generator at its current yield point.
     """
 
-    __slots__ = ("generator", "_waiting_on", "name")
+    __slots__ = ("generator", "_waiting_on", "name", "_started")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
         if not hasattr(generator, "send"):
@@ -171,7 +192,10 @@ class Process(Event):
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._waiting_on: Optional[Event] = None
-        _Initialize(sim, self)
+        self._started = False
+        # Schedule ourselves for the start resume; no separate init event.
+        sim._sequence += 1
+        heappush(sim._heap, (sim.now, sim._sequence, self))
 
     @property
     def is_alive(self) -> bool:
@@ -188,36 +212,57 @@ class Process(Event):
                 target.callbacks.remove(self._resume)
             except ValueError:
                 pass
+            else:
+                if not target.callbacks:
+                    # Nobody else waits on the abandoned event; if it later
+                    # fails, that failure was handled here by the interrupt.
+                    target._defused = True
         self._waiting_on = None
         interrupt_event = Event(self.sim)
+        # A stale delivery (the target finished first) must not surface as
+        # an orphaned failure.
+        interrupt_event._defused = True
         interrupt_event.callbacks.append(self._resume)
         interrupt_event.fail(Interrupt(cause))
 
     # -- internal ---------------------------------------------------------
 
+    def _process(self) -> None:
+        if self._started:
+            Event._process(self)
+        else:
+            self._started = True
+            self._resume(_INIT)
+
     def _resume(self, event: Event) -> None:
         if self._triggered:
-            return  # a stale wakeup after an interrupt already finished us
+            # A stale wakeup after an interrupt already finished us; its
+            # outcome (even a failure) is moot.
+            event._defused = True
+            return
         self._waiting_on = None
+        generator = self.generator
+        sim = self.sim
         try:
             while True:
-                if event._exc is not None:
-                    target = self.generator.throw(event._exc)
+                if event._exc is None:
+                    target = generator.send(event._value)
                 else:
-                    target = self.generator.send(event._value)
+                    target = generator.throw(event._exc)
                 if not isinstance(target, Event):
                     raise SimulationError(
                         f"process {self.name!r} yielded non-event {target!r}"
                     )
-                if target.sim is not self.sim:
+                if target.sim is not sim:
                     raise SimulationError(
                         f"process {self.name!r} yielded event from another simulator"
                     )
-                if target.callbacks is None:
+                callbacks = target.callbacks
+                if callbacks is None:
                     # Already processed: deliver its outcome synchronously.
                     event = target
                     continue
-                target.callbacks.append(self._resume)
+                callbacks.append(self._resume)
                 self._waiting_on = target
                 return
         except StopIteration as stop:
@@ -233,21 +278,24 @@ class Condition(Event):
     original order.  Fails as soon as any constituent fails.
     """
 
-    __slots__ = ("events", "_needed")
+    __slots__ = ("events", "_needed", "_all")
 
     def __init__(self, sim: "Simulator", events: Iterable[Event], count: Optional[int] = None):
         super().__init__(sim)
         self.events = list(events)
+        total = len(self.events)
         if count is None:
-            count = len(self.events)
-        if count > len(self.events):
+            count = total
+        if count > total:
             raise SimulationError("condition requires more events than supplied")
         self._needed = count
-        if self._needed == 0:
+        self._all = count == total
+        if count == 0:
             self.succeed([])
             return
+        check = self._check
         for event in self.events:
-            event.add_callback(self._check)
+            event.add_callback(check)
 
     def _check(self, event: Event) -> None:
         if self._triggered:
@@ -257,7 +305,11 @@ class Condition(Event):
             return
         self._needed -= 1
         if self._needed == 0:
-            self.succeed([e for e in self.events if e._triggered])
+            if self._all:
+                # Every constituent has fired: no need to re-scan the list.
+                self.succeed(list(self.events))
+            else:
+                self.succeed([e for e in self.events if e._triggered])
 
 
 class Simulator:
@@ -295,26 +347,54 @@ class Simulator:
 
     def _schedule(self, event: Event, delay: float) -> None:
         self._sequence += 1
-        heapq.heappush(self._heap, (self.now + delay, self._sequence, event))
+        heappush(self._heap, (self.now + delay, self._sequence, event))
+
+    def _raise_orphans(self) -> None:
+        """Raise the first orphaned failure; never silently drop the rest."""
+        orphans = self._orphan_failures
+        first = orphans[0]
+        rest = orphans[1:]
+        del orphans[:]
+        exc = first._exc
+        for extra in rest:
+            _log.warning(
+                "additional orphaned process failure at t=%s suppressed behind %r: %r",
+                self.now, exc, extra._exc,
+            )
+            if hasattr(exc, "add_note"):  # pragma: no branch - py3.11+
+                exc.add_note(f"additional orphaned failure at t={self.now}: {extra._exc!r}")
+        raise exc
 
     def step(self) -> None:
         """Process the single next event; raises orphaned process failures."""
-        when, _seq, event = heapq.heappop(self._heap)
+        when, _seq, event = heappop(self._heap)
         self.now = when
         event._process()
         if self._orphan_failures:
-            orphan = self._orphan_failures.pop()
-            self._orphan_failures.clear()
-            raise orphan._exc
+            self._raise_orphans()
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the heap empties or the clock passes ``until``."""
-        while self._heap:
-            if until is not None and self._heap[0][0] > until:
+        heap = self._heap
+        orphans = self._orphan_failures
+        if until is None:
+            while heap:
+                when, _seq, event = heappop(heap)
+                self.now = when
+                event._process()
+                if orphans:
+                    self._raise_orphans()
+            return
+        while heap:
+            if heap[0][0] > until:
                 self.now = until
                 return
-            self.step()
-        if until is not None and self.now < until:
+            when, _seq, event = heappop(heap)
+            self.now = when
+            event._process()
+            if orphans:
+                self._raise_orphans()
+        if self.now < until:
             self.now = until
 
     def run_until_complete(self, event: Event, limit: float = float("inf")) -> Any:
@@ -325,14 +405,20 @@ class Simulator:
         done.  ``limit`` bounds runaway simulations.
         """
         event.defuse()
-        while not event.processed:
-            if not self._heap:
+        heap = self._heap
+        orphans = self._orphan_failures
+        while event.callbacks is not None:
+            if not heap:
                 raise SimulationError(
                     f"event heap drained at t={self.now} before event fired"
                 )
-            if self._heap[0][0] > limit:
+            if heap[0][0] > limit:
                 raise SimulationError(f"simulation exceeded time limit {limit}")
-            self.step()
+            when, _seq, popped = heappop(heap)
+            self.now = when
+            popped._process()
+            if orphans:
+                self._raise_orphans()
         return event.value
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

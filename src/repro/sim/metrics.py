@@ -144,14 +144,35 @@ class UtilizationTracker:
 
     def record(self, level: int) -> None:
         """Note that the busy level changed to ``level`` at the current time."""
-        self._accumulate(self.sim.now)
+        # Inlined _accumulate: this is called on every resource grant and
+        # release, making it one of the hottest non-kernel functions.
+        now = self.sim.now
+        last = self._last_change
+        span = now - last
+        old_level = self._level
+        if span > 0 and old_level > 0:
+            self._busy_integral += span * old_level
+            index = int(last // self.window)
+            if now <= (index + 1) * self.window:
+                self._window_busy[index] += span * old_level
+            else:
+                self._spread_over_windows(last, now, old_level)
+        self._last_change = now
         self._level = level
 
     def _accumulate(self, now: float) -> None:
-        span = now - self._last_change
-        if span > 0 and self._level > 0:
-            self._busy_integral += span * self._level
-            self._spread_over_windows(self._last_change, now, self._level)
+        last = self._last_change
+        span = now - last
+        level = self._level
+        if span > 0 and level > 0:
+            self._busy_integral += span * level
+            index = int(last // self.window)
+            if now <= (index + 1) * self.window:
+                # Fast path: the whole span lies in one window (the common
+                # case — service times are much shorter than the window).
+                self._window_busy[index] += span * level
+            else:
+                self._spread_over_windows(last, now, level)
         self._last_change = now
 
     def _spread_over_windows(self, start: float, end: float, level: float) -> None:

@@ -8,6 +8,7 @@ identical rules.
 
 from __future__ import annotations
 
+import functools
 from typing import List, Tuple
 
 from repro.errors import InvalidArgument
@@ -27,8 +28,13 @@ def components(path: str) -> List[str]:
     return [part for part in path.split("/") if part not in ("", ".")]
 
 
+@functools.lru_cache(maxsize=4096)
 def normalize(path: str) -> str:
-    """Canonical absolute form, resolving '.' and '..' lexically."""
+    """Canonical absolute form, resolving '.' and '..' lexically.
+
+    Memoized: name resolution hits the same handful of paths over and over
+    (every Venus open walks its prefix), and the function is pure.
+    """
     if not is_abs(path):
         raise InvalidArgument(f"expected absolute path, got {path!r}")
     stack: List[str] = []

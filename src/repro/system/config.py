@@ -45,6 +45,10 @@ class SystemConfig:
     # Python-expensive); long synthetic runs turn this off and keep only
     # the virtual-time charge.
     functional_payload_crypto: bool = True
+    # Let in-process transfers hand the plaintext across after verifying the
+    # tag (wire bytes are unchanged); turn off to force a full keystream
+    # unseal at every hop, as a real network receiver would do.
+    payload_fast_path: bool = True
 
     # Venus cache.
     cache_max_files: int = 500

@@ -2,14 +2,19 @@
 
 import pytest
 
+import hashlib
+import hmac
+
 from repro.crypto import (
     ClientHandshake,
+    SealedPayload,
     SessionCipher,
     ServerHandshake,
     derive_session_key,
     derive_user_key,
     fresh_nonce,
     keystream,
+    open_sealed,
     seal,
     unseal,
 )
@@ -75,6 +80,127 @@ class TestSessionCipher:
         cipher = SessionCipher(b"k" * 32)
         cipher.encrypt(b"12345")
         assert cipher.bytes_encrypted == 5
+
+    def test_nonces_monotonic_and_disjoint_across_directions(self):
+        key = b"k" * 32
+        forward = SessionCipher(key, direction=0)
+        backward = SessionCipher(key, direction=1)
+        forward_nonces = [forward.encrypt(b"m")[:8] for _ in range(4)]
+        backward_nonces = [backward.encrypt(b"m")[:8] for _ in range(4)]
+        # Strictly increasing counters within each direction...
+        assert forward_nonces == sorted(set(forward_nonces))
+        assert backward_nonces == sorted(set(backward_nonces))
+        # ...and the direction byte keeps the two streams disjoint forever.
+        assert all(nonce[0] == 0 for nonce in forward_nonces)
+        assert all(nonce[0] == 1 for nonce in backward_nonces)
+        assert not set(forward_nonces) & set(backward_nonces)
+
+
+class TestPayloadFastPath:
+    """The opt-in SealedPayload path used for whole-file transfer."""
+
+    KEY = derive_session_key(b"k" * 32, b"cn", b"sn")
+
+    def test_fast_path_roundtrip(self):
+        cipher = SessionCipher(self.KEY, direction=0)
+        sealed = cipher.seal_payload(b"whole file body")
+        assert isinstance(sealed, SealedPayload)
+        assert open_sealed(self.KEY, sealed) == b"whole file body"
+
+    def test_wire_bytes_identical_to_slow_path(self):
+        # Two ciphers in the same state must produce byte-for-byte the same
+        # wire message whether or not the fast path is used.
+        slow = SessionCipher(self.KEY, direction=0)
+        fast = SessionCipher(self.KEY, direction=0)
+        data = b"payload" * 999
+        assert bytes(fast.seal_payload(data)) == slow.encrypt(data)
+
+    def test_plain_bytes_still_open(self):
+        # A receiver holding only the wire bytes (no SealedPayload object)
+        # opens the message through the full unseal.
+        cipher = SessionCipher(self.KEY, direction=0)
+        sealed = bytes(cipher.seal_payload(b"over the wire"))
+        assert open_sealed(self.KEY, sealed) == b"over the wire"
+
+    def test_tampering_detected_despite_remembered_plaintext(self):
+        cipher = SessionCipher(self.KEY, direction=0)
+        sealed = cipher.seal_payload(b"data")
+        mutated = bytearray(sealed)
+        mutated[10] ^= 0xFF
+        tampered = SealedPayload(bytes(mutated))
+        tampered.plain = sealed.plain  # an attacker can't fake the MAC
+        with pytest.raises(IntegrityError):
+            open_sealed(self.KEY, tampered)
+
+    def test_wrong_key_rejected(self):
+        cipher = SessionCipher(self.KEY, direction=0)
+        sealed = cipher.seal_payload(b"data")
+        with pytest.raises(IntegrityError):
+            open_sealed(derive_session_key(b"x" * 32, b"cn", b"sn"), sealed)
+
+    def test_open_payload_counts_bytes(self):
+        sender = SessionCipher(self.KEY, direction=0)
+        receiver = SessionCipher(self.KEY, direction=0)
+        receiver.open_payload(sender.seal_payload(b"12345"))
+        assert receiver.bytes_decrypted == 5
+
+
+# Verbatim re-implementation of the original per-byte cipher, kept as the
+# wire-compatibility reference: the vectorized implementation must produce
+# and accept exactly these bytes.
+
+def _reference_keystream(key, nonce, length):
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        block = hashlib.sha256(key + nonce + counter.to_bytes(8, "big")).digest()
+        out.extend(block)
+        counter += 1
+    return bytes(out[:length])
+
+
+def _reference_seal(key, nonce, plaintext):
+    stream = _reference_keystream(key, nonce, len(plaintext))
+    ciphertext = bytes(p ^ s for p, s in zip(plaintext, stream))
+    tag = hmac.new(key, nonce + ciphertext, hashlib.sha256).digest()[:16]
+    return nonce + ciphertext + tag
+
+
+def _reference_unseal(key, sealed):
+    nonce, tag = sealed[:8], sealed[-16:]
+    ciphertext = sealed[8:-16]
+    assert hmac.compare_digest(tag, hmac.new(key, nonce + ciphertext, hashlib.sha256).digest()[:16])
+    stream = _reference_keystream(key, nonce, len(ciphertext))
+    return bytes(c ^ s for c, s in zip(ciphertext, stream))
+
+
+class TestWireCompatibility:
+    """The vectorized cipher speaks the original implementation's format."""
+
+    KEY = derive_user_key("u", "pw")
+    NONCE = b"\x00nonce!!"
+
+    @pytest.mark.parametrize("size", [0, 1, 31, 32, 33, 4096, 65_536 + 7])
+    def test_keystream_matches_reference(self, size):
+        assert keystream(self.KEY, self.NONCE, size) == _reference_keystream(
+            self.KEY, self.NONCE, size
+        )
+
+    @pytest.mark.parametrize("size", [0, 1, 500, 65_536])
+    def test_old_seal_opens_under_new_unseal(self, size):
+        data = bytes(i & 0xFF for i in range(size))
+        assert unseal(self.KEY, _reference_seal(self.KEY, self.NONCE, data)) == data
+
+    @pytest.mark.parametrize("size", [0, 1, 500, 65_536])
+    def test_new_seal_opens_under_old_unseal(self, size):
+        data = bytes((i * 7) & 0xFF for i in range(size))
+        assert _reference_unseal(self.KEY, seal(self.KEY, self.NONCE, data)) == data
+
+    def test_sealed_bytes_identical(self):
+        data = b"the quick brown fox" * 100
+        assert seal(self.KEY, self.NONCE, data) == _reference_seal(
+            self.KEY, self.NONCE, data
+        )
 
 
 class TestKeys:

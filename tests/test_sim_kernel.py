@@ -283,3 +283,99 @@ def test_process_return_value_none_by_default():
         yield sim.timeout(0.0)
 
     assert sim.run_until_complete(sim.process(empty())) is None
+
+
+def test_multiple_orphan_failures_raise_first_and_note_rest():
+    # Regression: step() used to pop the *last* orphaned failure and clear
+    # the rest, silently dropping all but one.  The first must be raised,
+    # with the others attached as notes rather than discarded.
+    sim = Simulator()
+    first, second = RuntimeError("alpha"), RuntimeError("beta")
+    for exc in (first, second):
+        event = sim.event()
+        event._triggered = True
+        event._exc = exc
+        sim._orphan_failures.append(event)
+    sim.timeout(0.0)  # something for step() to process
+    with pytest.raises(RuntimeError) as info:
+        sim.step()
+    assert info.value is first
+    assert "beta" in "".join(getattr(info.value, "__notes__", []))
+    assert sim._orphan_failures == []
+
+
+def test_two_simultaneously_failing_orphans_surface_in_turn():
+    # Two processes crash at the same instant from the same failed event:
+    # resuming the simulation after the first raise surfaces the second
+    # failure too — neither is lost.
+    sim = Simulator()
+    trigger = sim.event()
+
+    def waiter(tag):
+        try:
+            yield trigger
+        except RuntimeError:
+            raise RuntimeError(tag)
+
+    def manager():
+        yield sim.timeout(1.0)
+        trigger.fail(RuntimeError("boom"))
+
+    sim.process(waiter("alpha"))
+    sim.process(waiter("beta"))
+    sim.process(manager())
+    with pytest.raises(RuntimeError, match="alpha"):
+        sim.run()
+    with pytest.raises(RuntimeError, match="beta"):
+        sim.run()
+
+
+def test_stale_interrupt_after_process_finished_is_ignored():
+    # Two interrupts are scheduled before either is delivered; the first
+    # delivery finishes the process, so the second reaches a finished
+    # process.  The stale delivery must be dropped (and its failure
+    # defused) instead of corrupting the process state.
+    sim = Simulator()
+
+    def victim():
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt:
+            return "stopped"
+
+    proc = sim.process(victim())
+
+    def manager():
+        yield sim.timeout(1.0)
+        proc.interrupt("one")
+        proc.interrupt("two")
+
+    sim.process(manager())
+    assert sim.run_until_complete(proc) == "stopped"
+    sim.run()  # the stale interrupt must drain without an orphaned failure
+
+
+def test_abandoned_event_failure_after_interrupt_is_defused():
+    # A process is interrupted away from an event that subsequently fails.
+    # Nobody waits on that failure any more; it must not crash the run.
+    sim = Simulator()
+    doomed = sim.event()
+
+    def waiter():
+        try:
+            yield doomed
+        except Interrupt:
+            yield sim.timeout(5.0)
+        return "recovered"
+
+    proc = sim.process(waiter())
+
+    def manager():
+        yield sim.timeout(1.0)
+        proc.interrupt("change of plan")
+        yield sim.timeout(1.0)
+        doomed.fail(RuntimeError("boom"))
+
+    sim.process(manager())
+    assert sim.run_until_complete(proc) == "recovered"
+    sim.run()  # the abandoned failure must not surface as an orphan
