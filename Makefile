@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test bench-smoke bench results
+.PHONY: check test bench-smoke trace-smoke bench results
 
 # Tier-1 gate: the full test suite plus the microbenchmark time budgets.
 # A >2x wall-clock regression in the kernel or cipher fails bench-smoke.
@@ -12,6 +12,12 @@ test:
 
 bench-smoke:
 	$(PYTHON) benchmarks/bench_kernel.py --smoke
+
+# Run a short traced Andrew benchmark and validate the trace covers
+# open -> RPC -> server -> disk for at least one fetch and one store.
+trace-smoke:
+	mkdir -p benchmarks/results
+	$(PYTHON) -m repro trace --check --out benchmarks/results/trace-smoke.json
 
 # The tracked wall-clock harness (writes benchmarks/results/BENCH_<date>.json).
 bench:

@@ -35,11 +35,22 @@ if __package__ is None or __package__ == "":  # running as a script
             sys.path.insert(0, _path)
 
 from repro.rpc.costs import EncryptionMode
+from repro.sim.metrics import Samples
 
 from _common import RESULTS_DIR, run_andrew
 from bench_encryption import run_mode
 from bench_kernel import run_microbenchmarks
 from bench_scalability import run_concurrent
+
+# Paper-facing operation categories (§5.2 Table) -> RPC procedures, both
+# protocol families.  Latency comes from the rpc.<host>.latency.<proc>
+# histograms the metrics registry keeps on every client node.
+OP_CATEGORIES = {
+    "Fetch": ("Fetch", "FetchByFid", "FetchDir"),
+    "Store": ("Store", "StoreByFid", "CreateByFid"),
+    "TestAuth": ("ValidateCache", "ValidateByFid"),
+    "GetFileStat": ("GetStatus", "GetStatusByFid"),
+}
 
 
 def _timed(func):
@@ -89,6 +100,37 @@ def bench_exp11() -> dict:
     return modes
 
 
+def op_latency_from(campus) -> dict:
+    """Virtual-time latency percentiles per paper op category."""
+    by_proc = {}
+    for name, bag in campus.metrics.histograms("rpc.").items():
+        if ".latency." in name:
+            by_proc.setdefault(name.rsplit(".", 1)[1], []).append(bag)
+    categories = {}
+    for category, procedures in OP_CATEGORIES.items():
+        merged = Samples(category)
+        for procedure in procedures:
+            for bag in by_proc.get(procedure, []):
+                for value in bag.values:
+                    merged.add(value)
+        if not len(merged):
+            continue
+        categories[category] = {
+            "count": len(merged),
+            "mean_seconds": round(merged.mean, 6),
+            "p50_seconds": round(merged.percentile(0.50), 6),
+            "p90_seconds": round(merged.percentile(0.90), 6),
+            "p99_seconds": round(merged.percentile(0.99), 6),
+        }
+    return categories
+
+
+def bench_op_latency() -> dict:
+    """Op-level latency from a revised-remote Andrew run."""
+    campus, _result = run_andrew(mode="revised", remote=True)
+    return op_latency_from(campus)
+
+
 def collect() -> dict:
     """Run everything; returns the full report structure."""
     report = {
@@ -103,6 +145,8 @@ def collect() -> dict:
     report["experiments"]["EXP-5"] = bench_exp5()
     print("EXP-11 (encryption modes)...")
     report["experiments"]["EXP-11"] = bench_exp11()
+    print("op latency (revised remote Andrew)...")
+    report["op_latency"] = bench_op_latency()
     print("microbenchmarks...")
     report["microbenchmarks"] = {
         name: round(seconds, 4) for name, seconds in run_microbenchmarks().items()
@@ -136,6 +180,15 @@ def summarize(report: dict) -> str:
             )
             lines.append(f"  {label:16s} wall {entry['wall_seconds']:7.3f} s"
                          f"   virtual {virtual}")
+    if report.get("op_latency"):
+        lines.append("op latency, virtual ms (revised remote Andrew):")
+        for category, stats in report["op_latency"].items():
+            lines.append(
+                f"  {category:12s} n={stats['count']:<5d}"
+                f" p50 {stats['p50_seconds'] * 1000:7.1f}"
+                f"  p90 {stats['p90_seconds'] * 1000:7.1f}"
+                f"  p99 {stats['p99_seconds'] * 1000:7.1f}"
+            )
     lines.append("microbenchmarks (best of 3):")
     for name, seconds in report["microbenchmarks"].items():
         lines.append(f"  {name:28s} {seconds * 1000:8.2f} ms")

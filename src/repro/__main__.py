@@ -6,16 +6,23 @@ Small, self-contained demonstrations of the reproduced system:
 * ``andrew``   — the §5.2 5-phase benchmark, local vs remote;
 * ``day``      — a synthetic campus day, reporting the §5.2 quantities;
 * ``mobility`` — the cold-cache/warm-cache mobility measurement;
-* ``status``   — a short campus day followed by the operator's dashboard.
+* ``status``   — a short campus day followed by the operator's dashboard;
+* ``trace``    — a traced benchmark run exported as a Chrome-trace file.
+
+``andrew`` and ``status`` accept ``--trace FILE`` (write a Perfetto-loadable
+trace of the run) and ``--metrics-json FILE`` (dump the campus metrics
+registry); see ``docs/observability.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro import ITCSystem, SystemConfig, __version__
 from repro.analysis import Table, campus_report, format_share
+from repro.obs import TraceRecorder, validate_coverage
 from repro.workload import (
     AndrewBenchmark,
     PHASES,
@@ -30,16 +37,42 @@ def cmd_info(_args) -> int:
     print(f"repro {__version__} — the ITC Distributed File System (SOSP 1985)")
     print(__doc__)
     print("Subpackages: sim, net, crypto, rpc, storage, vice, venus, virtue,")
-    print("             system, workload, analysis")
+    print("             system, workload, analysis, obs")
     print("See DESIGN.md / EXPERIMENTS.md, and benchmarks/ for the evaluation.")
     return 0
 
 
-def _andrew_once(mode: str, remote: bool):
+def _attach_recorder(args, campus) -> TraceRecorder:
+    """Attach (or move) the run's trace recorder when ``--trace`` was given."""
+    recorder = getattr(args, "_recorder", None)
+    if recorder is None:
+        recorder = TraceRecorder(campus.sim)
+        args._recorder = recorder
+    else:
+        recorder.attach(campus.sim)
+    return recorder
+
+
+def _finish_obs(args, campus) -> None:
+    """Write the ``--trace`` / ``--metrics-json`` outputs, if requested."""
+    recorder = getattr(args, "_recorder", None)
+    if recorder is not None and args.trace:
+        recorder.write_chrome_trace(args.trace)
+        print(f"trace: {len(recorder.spans)} spans -> {args.trace}")
+    if getattr(args, "metrics_json", None):
+        with open(args.metrics_json, "w") as handle:
+            json.dump(campus.metrics.snapshot(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"metrics: {len(campus.metrics)} instruments -> {args.metrics_json}")
+
+
+def _andrew_once(mode: str, remote: bool, args=None):
     campus = ITCSystem(
         SystemConfig(mode=mode, clusters=1, workstations_per_cluster=1,
                      functional_payload_crypto=False)
     )
+    if args is not None and getattr(args, "trace", None):
+        _attach_recorder(args, campus)
     campus.add_user("u", "pw")
     volume = campus.create_user_volume("u")
     tree = make_source_tree()
@@ -58,13 +91,13 @@ def _andrew_once(mode: str, remote: bool):
                     workstation.local_fs.mkdir(built)
             workstation.local_fs.create(path, data)
         bench = AndrewBenchmark(session, "/src", "/target")
-    return campus.run_op(bench.run())
+    return campus, campus.run_op(bench.run())
 
 
 def cmd_andrew(args) -> int:
     """Run the 5-phase benchmark."""
-    local = _andrew_once(args.mode, remote=False)
-    remote = _andrew_once(args.mode, remote=True)
+    _, local = _andrew_once(args.mode, remote=False, args=args)
+    campus, remote = _andrew_once(args.mode, remote=True, args=args)
     table = Table(["phase", "local (s)", "remote (s)"],
                   title=f"5-phase benchmark ({args.mode})")
     for phase in PHASES:
@@ -74,6 +107,7 @@ def cmd_andrew(args) -> int:
     print(table)
     print(f"\nremote penalty: +{remote.total_seconds / local.total_seconds - 1:.0%}"
           f"  (paper, prototype: about +80%)")
+    _finish_obs(args, campus)
     return 0
 
 
@@ -136,13 +170,47 @@ def cmd_mobility(_args) -> int:
 def cmd_status(args) -> int:
     """Run a brief campus day, then print the operator's dashboard."""
     campus = ITCSystem(
-        SystemConfig(mode=args.mode, clusters=2, workstations_per_cluster=4,
+        SystemConfig(mode=args.mode, clusters=args.clusters,
+                     workstations_per_cluster=args.workstations,
                      functional_payload_crypto=False)
     )
+    if args.trace:
+        _attach_recorder(args, campus)
     users = provision_campus(campus, hot_files=8, cold_files=8,
                              shared_files=8, binary_files=6)
-    run_campus_day(campus, users, duration=600.0, warmup=120.0)
+    run_campus_day(campus, users, duration=args.duration, warmup=args.warmup)
     print(campus_report(campus))
+    _finish_obs(args, campus)
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Run a short traced benchmark and export the trace."""
+    campus = ITCSystem(
+        SystemConfig(mode="revised", clusters=1, workstations_per_cluster=1,
+                     functional_payload_crypto=False)
+    )
+    recorder = TraceRecorder(campus.sim)
+    campus.add_user("u", "pw")
+    volume = campus.create_user_volume("u")
+    campus.populate(volume, make_source_tree(), owner="u")
+    session = campus.login(campus.workstation(0), "u", "pw")
+    bench = AndrewBenchmark(session, "/vice/usr/u/src", "/vice/usr/u/target")
+    result = campus.run_op(bench.run())
+
+    recorder.write_chrome_trace(args.out)
+    print(f"{len(recorder.spans)} spans over {result.total_seconds:.0f} virtual "
+          f"seconds -> {args.out}")
+    if args.jsonl:
+        recorder.write_jsonl(args.jsonl)
+        print(f"JSONL -> {args.jsonl}")
+    if args.check:
+        problems = validate_coverage(recorder.spans)
+        for problem in problems:
+            print(f"coverage FAIL: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print("coverage OK: open->RPC->server->disk for fetch and store")
     return 0
 
 
@@ -154,10 +222,17 @@ def main(argv=None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def obs_flags(command):
+        command.add_argument("--trace", metavar="FILE", default="",
+                             help="write a Chrome-trace (Perfetto) file of the run")
+        command.add_argument("--metrics-json", metavar="FILE", default="",
+                             help="dump the campus metrics registry as JSON")
+
     sub.add_parser("info", help="package summary").set_defaults(func=cmd_info)
 
     andrew = sub.add_parser("andrew", help="the 5-phase benchmark")
     andrew.add_argument("--mode", choices=("prototype", "revised"), default="prototype")
+    obs_flags(andrew)
     andrew.set_defaults(func=cmd_andrew)
 
     day = sub.add_parser("day", help="a synthetic campus day")
@@ -174,7 +249,27 @@ def main(argv=None) -> int:
 
     status = sub.add_parser("status", help="campus day + operator dashboard")
     status.add_argument("--mode", choices=("prototype", "revised"), default="revised")
+    status.add_argument("--clusters", type=int, default=2,
+                        help="cluster count (default 2)")
+    status.add_argument("--workstations", type=int, default=4,
+                        help="workstations per cluster (default 4)")
+    status.add_argument("--duration", type=float, default=600.0,
+                        help="measured window, virtual seconds (default 600)")
+    status.add_argument("--warmup", type=float, default=120.0,
+                        help="warm-up before measuring, virtual seconds (default 120)")
+    obs_flags(status)
     status.set_defaults(func=cmd_status)
+
+    trace = sub.add_parser(
+        "trace", help="run a short traced benchmark, export a Chrome trace"
+    )
+    trace.add_argument("--out", metavar="FILE", default="trace.json",
+                       help="Chrome-trace output path (default trace.json)")
+    trace.add_argument("--jsonl", metavar="FILE", default="",
+                       help="also write one-span-per-line JSONL")
+    trace.add_argument("--check", action="store_true",
+                       help="validate end-to-end span coverage; exit 1 on gaps")
+    trace.set_defaults(func=cmd_trace)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -17,47 +17,59 @@ __all__ = ["campus_report", "server_report", "workstation_report"]
 
 
 def server_report(campus, start: float = 0.0) -> Table:
-    """One row per cluster server: storage, load, state."""
+    """One row per cluster server: storage, load, state.
+
+    Reads the metrics registry (``campus.metrics``) rather than reaching
+    into component attributes; CPU/disk utilization still goes through the
+    host because the report window starts at ``start``, not at zero.
+    """
     table = Table(
         ["server", "volumes", "files", "used MB", "calls", "CPU", "disk",
          "callbacks held", "locks"],
         title="Vice servers",
     )
+    metrics = campus.metrics
     for server in campus.servers:
-        files = sum(volume.file_count for volume in server.volumes.values())
-        used = sum(volume.used_bytes for volume in server.volumes.values())
+        name = server.host.name
+        snap = metrics.snapshot(f"vice.{name}.")
         table.add(
-            server.host.name,
-            len(server.volumes),
-            files,
-            f"{used / 1e6:.1f}",
-            server.node.calls_received.total,
+            name,
+            snap[f"vice.{name}.volumes"]["value"],
+            snap[f"vice.{name}.files"]["value"],
+            f"{snap[f'vice.{name}.used_bytes']['value'] / 1e6:.1f}",
+            metrics.value(f"rpc.{name}.calls_received")["total"],
             format_share(server.host.cpu_utilization(start)),
             format_share(server.host.disk_utilization(start)),
-            server.callbacks.state_size,
-            len(server.locks),
+            snap[f"vice.{name}.callbacks.held"]["value"],
+            snap[f"vice.{name}.locks.held"]["value"],
         )
     return table
 
 
 def workstation_report(campus) -> Table:
-    """One row per workstation: cache health and traffic."""
+    """One row per workstation: cache health and traffic.
+
+    Driven entirely by the metrics registry — the table is a rendering of
+    ``campus.metrics.snapshot("venus.<host>.")``.
+    """
     table = Table(
         ["workstation", "cached files", "cache KB", "hit ratio", "opens",
          "fetches", "stores", "breaks rx"],
         title="Virtue workstations",
     )
+    metrics = campus.metrics
     for workstation in campus.workstations:
-        venus = workstation.venus
+        name = workstation.name
+        snap = metrics.snapshot(f"venus.{name}.")
         table.add(
-            workstation.name,
-            len(venus.cache),
-            venus.cache.used_bytes // 1024,
-            format_share(venus.cache.hit_ratio),
-            venus.opens,
-            venus.fetches,
-            venus.stores,
-            venus.callback_breaks_received,
+            name,
+            snap[f"venus.{name}.cache.files"]["value"],
+            snap[f"venus.{name}.cache.used_bytes"]["value"] // 1024,
+            format_share(snap[f"venus.{name}.cache.hit_ratio"]["value"]),
+            snap[f"venus.{name}.opens"]["total"],
+            snap[f"venus.{name}.fetches"]["total"],
+            snap[f"venus.{name}.stores"]["total"],
+            snap[f"venus.{name}.callback_breaks_received"]["total"],
         )
     return table
 

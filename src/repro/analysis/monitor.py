@@ -50,9 +50,11 @@ class CampusMonitor:
 
     def traffic_matrix(self) -> Dict[str, Dict[str, int]]:
         """volume_id -> {originating segment -> data accesses}."""
+        metrics = self.campus.metrics
         matrix: Dict[str, Dict[str, int]] = {}
         for server in self.campus.servers:
-            for label, count in server.volume_traffic.as_dict().items():
+            reading = metrics.value(f"vice.{server.host.name}.volume_traffic")
+            for label, count in reading["counts"].items():
                 volume_id, _, segment = label.partition("|")
                 row = matrix.setdefault(volume_id, {})
                 row[segment] = row.get(segment, 0) + count
@@ -60,16 +62,20 @@ class CampusMonitor:
 
     def server_load(self) -> Dict[str, int]:
         """Total served calls per server (load-balance view)."""
+        metrics = self.campus.metrics
         return {
-            server.host.name: server.node.calls_received.total
+            server.host.name:
+                metrics.value(f"rpc.{server.host.name}.calls_received")["total"]
             for server in self.campus.servers
         }
 
     def usage_by_user(self) -> Dict[str, int]:
         """Bytes of data traffic per user, campus-wide (§3.6 accounting)."""
+        metrics = self.campus.metrics
         totals: Dict[str, int] = {}
         for server in self.campus.servers:
-            for user, amount in server.usage_by_user.as_dict().items():
+            reading = metrics.value(f"vice.{server.host.name}.usage_by_user")
+            for user, amount in reading["counts"].items():
                 totals[user] = totals.get(user, 0) + amount
         return totals
 

@@ -46,6 +46,16 @@ class Host:
         self.nic: NetworkInterface = network.attach(name, segment)
         self.up = True
 
+        metrics = sim.metrics
+        metrics.utilization(f"host.{name}.cpu", lambda: self.cpu.utilization)
+        metrics.utilization(f"host.{name}.disk", lambda: self.disk.arm.utilization)
+        metrics.counter(f"host.{name}.disk.operations",
+                        lambda: self.disk.operations)
+        metrics.counter(f"host.{name}.disk.bytes_read",
+                        lambda: self.disk.bytes_read)
+        metrics.counter(f"host.{name}.disk.bytes_written",
+                        lambda: self.disk.bytes_written)
+
     def compute(self, reference_seconds: float) -> Generator[Any, Any, None]:
         """Occupy the CPU for ``reference_seconds`` of 1-unit machine work."""
         if reference_seconds <= 0:

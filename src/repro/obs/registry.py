@@ -1,0 +1,187 @@
+"""A unified, named metrics registry for every campus component.
+
+Before this module existed, reading the campus meant attribute spelunking:
+``venus.cache.hits`` here, ``server.node.calls_received.total`` there, a
+``volume_traffic`` counter somewhere else.  The registry replaces that with
+**named, typed instruments** registered by each component at construction
+time and read through one campus-wide :meth:`MetricsRegistry.snapshot`.
+
+Instrument kinds (each built on an existing :mod:`repro.sim.metrics`
+primitive):
+
+* **counter** — monotonically increasing event counts, possibly labelled
+  (wraps :class:`~repro.sim.metrics.Counter` or a plain integer);
+* **gauge** — a point-in-time value read at snapshot time;
+* **histogram** — a latency/size distribution with percentiles (wraps
+  :class:`~repro.sim.metrics.Samples`);
+* **utilization** — mean/peak busy fractions (wraps
+  :class:`~repro.sim.metrics.UtilizationTracker`).
+
+Every instrument is registered against a *provider*: a zero-argument
+callable returning the live object or value.  Providers are closures over
+the owning component (``lambda: self.cache.hits``), so instruments survive
+counter resets and object replacement (``ITCSystem.reset_counters``,
+post-crash registry rebuilds) without re-registration.
+
+Naming scheme: ``<component>.<instance>.<metric>[.<sub>]`` with dot-joined
+lowercase segments, e.g. ``venus.ws0-0.cache.hits``,
+``rpc.server0.latency.FetchByFid``, ``vice.server0.callbacks.held``.  See
+``docs/observability.md`` for the full catalogue.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.sim.metrics import Counter, Samples, UtilizationTracker
+
+__all__ = ["Instrument", "MetricsRegistry"]
+
+Provider = Callable[[], Any]
+
+
+class Instrument:
+    """One named, typed metric: a kind plus a live-value provider."""
+
+    __slots__ = ("name", "kind", "provider")
+
+    def __init__(self, name: str, kind: str, provider: Provider):
+        self.name = name
+        self.kind = kind
+        self.provider = provider
+
+    def read(self) -> Dict[str, Any]:
+        """The instrument's current value as a JSON-ready dict."""
+        value = self.provider()
+        if self.kind == "counter":
+            if isinstance(value, Counter):
+                counts = value.as_dict()
+                return {"type": "counter", "total": sum(counts.values()),
+                        "counts": counts}
+            if isinstance(value, dict):
+                return {"type": "counter", "total": sum(value.values()),
+                        "counts": dict(value)}
+            return {"type": "counter", "total": int(value)}
+        if self.kind == "gauge":
+            return {"type": "gauge", "value": value}
+        if self.kind == "histogram":
+            samples: Samples = value
+            return {
+                "type": "histogram",
+                "count": len(samples),
+                "total": samples.total,
+                "mean": samples.mean,
+                "min": samples.minimum,
+                "max": samples.maximum,
+                "p50": samples.percentile(0.50),
+                "p90": samples.percentile(0.90),
+                "p99": samples.percentile(0.99),
+            }
+        if self.kind == "utilization":
+            tracker: UtilizationTracker = value
+            return {
+                "type": "utilization",
+                "mean": tracker.mean_utilization(),
+                "peak": tracker.peak_utilization(),
+            }
+        raise ValueError(f"unknown instrument kind {self.kind!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Instrument {self.kind} {self.name}>"
+
+
+def _provider_for(source: Any) -> Provider:
+    return source if callable(source) else (lambda: source)
+
+
+class MetricsRegistry:
+    """All instruments of one simulated campus, under one namespace."""
+
+    def __init__(self):
+        self._instruments: Dict[str, Instrument] = {}
+
+    # -- registration ------------------------------------------------------
+
+    def _register(self, name: str, kind: str, provider: Provider) -> Instrument:
+        # Re-registration replaces: a component rebuilt on the same host
+        # (tests, crash/recover cycles) owns its name.
+        instrument = Instrument(name, kind, provider)
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str, source: Union[Counter, int, Provider]) -> Instrument:
+        """Register a counter; ``source`` is a Counter, int, or callable."""
+        return self._register(name, "counter", _provider_for(source))
+
+    def gauge(self, name: str, source: Union[Provider, float]) -> Instrument:
+        """Register a gauge; ``source`` is usually a closure over live state."""
+        return self._register(name, "gauge", _provider_for(source))
+
+    def histogram(self, name: str, samples: Optional[Samples] = None) -> Samples:
+        """Register (or fetch) a histogram; returns its ``Samples`` bag.
+
+        Calling twice with the same name returns the existing bag, so
+        call sites can create distributions lazily (per RPC procedure).
+        """
+        existing = self._instruments.get(name)
+        if existing is not None and existing.kind == "histogram":
+            bag = existing.provider()
+            if isinstance(bag, Samples):
+                return bag
+        bag = samples if samples is not None else Samples(name)
+        self._register(name, "histogram", lambda: bag)
+        return bag
+
+    def utilization(self, name: str,
+                    source: Union[UtilizationTracker, Provider]) -> Instrument:
+        """Register a utilization tracker (mean + peak at snapshot)."""
+        return self._register(name, "utilization", _provider_for(source))
+
+    def unregister(self, prefix: str) -> int:
+        """Drop every instrument whose name starts with ``prefix``."""
+        doomed = [name for name in self._instruments if name.startswith(prefix)]
+        for name in doomed:
+            del self._instruments[name]
+        return len(doomed)
+
+    # -- reading -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def get(self, name: str) -> Optional[Instrument]:
+        """The instrument registered under ``name``, or None."""
+        return self._instruments.get(name)
+
+    def names(self, prefix: str = "") -> List[str]:
+        """Sorted instrument names, optionally filtered by prefix."""
+        return sorted(n for n in self._instruments if n.startswith(prefix))
+
+    def value(self, name: str) -> Dict[str, Any]:
+        """One instrument's current reading (raises KeyError if absent)."""
+        return self._instruments[name].read()
+
+    def histograms(self, prefix: str = "") -> Dict[str, Samples]:
+        """The live ``Samples`` bags under a prefix (for aggregation)."""
+        found = {}
+        for name in self.names(prefix):
+            instrument = self._instruments[name]
+            if instrument.kind == "histogram":
+                bag = instrument.provider()
+                if isinstance(bag, Samples):
+                    found[name] = bag
+        return found
+
+    def snapshot(self, prefix: str = "") -> Dict[str, Dict[str, Any]]:
+        """Every instrument's current reading, as one JSON-ready dict.
+
+        This is the single read surface the dashboard, the CLI's
+        ``--metrics-json`` flag, and the benchmark harness use.
+        """
+        return {name: self._instruments[name].read() for name in self.names(prefix)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MetricsRegistry instruments={len(self._instruments)}>"

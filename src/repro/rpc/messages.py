@@ -49,6 +49,10 @@ class Envelope:
     # Cleartext fields used before a session key exists (handshake only).
     username: str = ""
     note: str = ""
+    # Causal-trace context (trace_id, span_id) propagated client -> server.
+    # Pure observability metadata: excluded from wire_bytes so the simulated
+    # byte counts — and therefore virtual time — are identical traced or not.
+    trace: Any = None
 
     def wire_bytes(self, envelope_overhead: int) -> int:
         """Size on the wire: headers + body + payload."""

@@ -48,6 +48,7 @@ from repro.rpc.messages import (
     encode_error,
     maybe_raise,
 )
+from repro.obs.trace import _NULL_SPAN
 from repro.sim.kernel import Event
 from repro.sim.metrics import Counter
 from repro.sim.rand import WorkloadRandom
@@ -106,6 +107,20 @@ class RpcNode:
         self.calls_sent = Counter(f"calls-tx:{host.name}")
         self.handshakes_completed = 0
         self.retransmissions = 0
+
+        # Registry instruments: providers are closures over self, so they
+        # keep reading the live objects across counter resets.
+        metrics = self.sim.metrics
+        prefix = f"rpc.{host.name}"
+        metrics.counter(f"{prefix}.calls_received", lambda: self.calls_received)
+        metrics.counter(f"{prefix}.calls_sent", lambda: self.calls_sent)
+        metrics.gauge(f"{prefix}.handshakes_completed",
+                      lambda: self.handshakes_completed)
+        metrics.gauge(f"{prefix}.retransmissions", lambda: self.retransmissions)
+        metrics.gauge(f"{prefix}.connections", lambda: len(self.connections))
+        # Per-procedure round-trip latency distributions, created lazily on
+        # first call and registered as rpc.<host>.latency.<procedure>.
+        self._latency_bags: Dict[str, Any] = {}
 
         self.sim.process(self._dispatch_loop(), name=f"rpc:{host.name}")
 
@@ -213,31 +228,49 @@ class RpcNode:
         my_name = self.host.name
         peer = conn.peer_of(my_name)
 
-        body = encode_body(procedure, args or {})
-        wire_body = conn.encrypt(my_name, body)
-        wire_payload = self._protect_payload(conn, my_name, payload)
-        crypto_cpu = self.costs.encrypt_seconds(conn.encryption, len(body) + len(payload))
-        yield from self.host.compute(self.costs.client_stub_cpu + crypto_cpu)
-
-        envelope = Envelope(Kind.CALL, conn.connection_id, seq, wire_body, wire_payload)
-        self.calls_sent.add(procedure)
-
-        key = (conn.connection_id, seq)
-        event = self.sim.event()
-        self._pending[key] = event
-        try:
-            reply = yield from self._send_and_wait(
-                envelope, peer, event, expect_bytes=expect_bytes
+        tracer = self.sim.tracer
+        traced = tracer.enabled
+        start = self.sim.now
+        with (tracer.span(f"rpc.call:{procedure}", component="rpc",
+                          host=my_name, peer=peer)
+              if traced else _NULL_SPAN):
+            body = encode_body(procedure, args or {})
+            wire_body = conn.encrypt(my_name, body)
+            wire_payload = self._protect_payload(conn, my_name, payload)
+            crypto_cpu = self.costs.encrypt_seconds(
+                conn.encryption, len(body) + len(payload)
             )
-        finally:
-            self._pending.pop(key, None)
+            yield from self.host.compute(self.costs.client_stub_cpu + crypto_cpu)
 
-        crypto_cpu = self.costs.encrypt_seconds(
-            conn.encryption, len(reply.body) + len(reply.payload)
-        )
-        yield from self.host.compute(crypto_cpu)
-        result = maybe_raise(decode_body(conn.decrypt(reply.body)))
-        reply_payload = self._unprotect_payload(conn, reply.payload)
+            envelope = Envelope(
+                Kind.CALL, conn.connection_id, seq, wire_body, wire_payload
+            )
+            if traced:
+                envelope.trace = tracer.context()
+            self.calls_sent.add(procedure)
+
+            key = (conn.connection_id, seq)
+            event = self.sim.event()
+            self._pending[key] = event
+            try:
+                reply = yield from self._send_and_wait(
+                    envelope, peer, event, expect_bytes=expect_bytes
+                )
+            finally:
+                self._pending.pop(key, None)
+
+            crypto_cpu = self.costs.encrypt_seconds(
+                conn.encryption, len(reply.body) + len(reply.payload)
+            )
+            yield from self.host.compute(crypto_cpu)
+            result = maybe_raise(decode_body(conn.decrypt(reply.body)))
+            reply_payload = self._unprotect_payload(conn, reply.payload)
+        bag = self._latency_bags.get(procedure)
+        if bag is None:
+            bag = self._latency_bags[procedure] = self.sim.metrics.histogram(
+                f"rpc.{my_name}.latency.{procedure}"
+            )
+        bag.add(self.sim.now - start)
         return result.get("value"), reply_payload
 
     def _protect_payload(self, conn: Connection, sender: str, payload: bytes) -> bytes:
@@ -439,40 +472,47 @@ class RpcNode:
     def _serve_call(
         self, conn: Connection, envelope: Envelope, source: str, switch_tax: bool
     ) -> Generator:
-        dispatch_cpu = self.costs.server_dispatch_cpu
-        if switch_tax:
-            dispatch_cpu += self.costs.context_switch_cpu * self.costs.switches_per_call
-        crypto_cpu = self.costs.encrypt_seconds(
-            conn.encryption, len(envelope.body) + len(envelope.payload)
-        )
-        yield from self.host.compute(dispatch_cpu + crypto_cpu)
-
-        decoded = decode_body(conn.decrypt(envelope.body))
-        procedure = decoded.get("proc", "?")
-        self.calls_received.add(procedure)
-        payload = self._unprotect_payload(conn, envelope.payload)
-
-        handler = self.services.get(procedure)
-        reply_payload = b""
-        if handler is None:
-            record: Dict[str, Any] = encode_error(
-                ReproError(f"no such procedure {procedure!r}")
+        # The span parent is the client's call span, carried on the envelope;
+        # the name is refined once the body is decrypted and decoded.
+        tracer = self.sim.tracer
+        with (tracer.span("rpc.serve", component="rpc", host=self.host.name,
+                          parent=envelope.trace)
+              if tracer.enabled else _NULL_SPAN) as span:
+            dispatch_cpu = self.costs.server_dispatch_cpu
+            if switch_tax:
+                dispatch_cpu += self.costs.context_switch_cpu * self.costs.switches_per_call
+            crypto_cpu = self.costs.encrypt_seconds(
+                conn.encryption, len(envelope.body) + len(envelope.payload)
             )
-        else:
-            try:
-                result, reply_payload = yield from handler(conn, decoded.get("args", {}), payload)
-                record = {"value": result}
-            except ReproError as exc:
-                record = encode_error(exc)
-                reply_payload = b""
+            yield from self.host.compute(dispatch_cpu + crypto_cpu)
 
-        body = marshal.dumps(record)
-        wire_body = conn.encrypt(self.host.name, body)
-        wire_payload = self._protect_payload(conn, self.host.name, reply_payload)
-        crypto_cpu = self.costs.encrypt_seconds(conn.encryption, len(body) + len(reply_payload))
-        yield from self.host.compute(crypto_cpu)
+            decoded = decode_body(conn.decrypt(envelope.body))
+            procedure = decoded.get("proc", "?")
+            span.rename(f"rpc.serve:{procedure}")
+            self.calls_received.add(procedure)
+            payload = self._unprotect_payload(conn, envelope.payload)
 
-        reply = Envelope(Kind.REPLY, envelope.connection_id, envelope.seq, wire_body, wire_payload)
+            handler = self.services.get(procedure)
+            reply_payload = b""
+            if handler is None:
+                record: Dict[str, Any] = encode_error(
+                    ReproError(f"no such procedure {procedure!r}")
+                )
+            else:
+                try:
+                    result, reply_payload = yield from handler(conn, decoded.get("args", {}), payload)
+                    record = {"value": result}
+                except ReproError as exc:
+                    record = encode_error(exc)
+                    reply_payload = b""
+
+            body = marshal.dumps(record)
+            wire_body = conn.encrypt(self.host.name, body)
+            wire_payload = self._protect_payload(conn, self.host.name, reply_payload)
+            crypto_cpu = self.costs.encrypt_seconds(conn.encryption, len(body) + len(reply_payload))
+            yield from self.host.compute(crypto_cpu)
+
+            reply = Envelope(Kind.REPLY, envelope.connection_id, envelope.seq, wire_body, wire_payload)
         self._reply_cache[envelope.connection_id][envelope.seq] = reply
         yield from self._send_reply(reply, source)
 

@@ -243,6 +243,11 @@ class Process(Event):
         self._waiting_on = None
         generator = self.generator
         sim = self.sim
+        # Expose which process is executing: per-process observability state
+        # (the tracer's span stacks) keys off this.  Resumes never nest, but
+        # save/restore keeps the attribute honest regardless.
+        prev_active = sim.active_process
+        sim.active_process = self
         try:
             while True:
                 if event._exc is None:
@@ -269,6 +274,8 @@ class Process(Event):
             self.succeed(stop.value)
         except BaseException as exc:
             self.fail(exc)
+        finally:
+            sim.active_process = prev_active
 
 
 class Condition(Event):
@@ -320,6 +327,15 @@ class Simulator:
         self._heap: List = []
         self._sequence = 0
         self._orphan_failures: List[Event] = []
+        self.active_process: Optional[Process] = None
+        # Observability hooks (deferred import: obs builds on sim).  The
+        # tracer is the shared zero-cost null recorder until a
+        # TraceRecorder is attached; the metrics registry is always live.
+        from repro.obs.registry import MetricsRegistry
+        from repro.obs.trace import NULL_RECORDER
+
+        self.tracer = NULL_RECORDER
+        self.metrics = MetricsRegistry()
 
     # -- factories ----------------------------------------------------------
 

@@ -73,7 +73,15 @@ class Disk:
             self.bytes_written += max(0, nbytes)
         else:
             self.bytes_read += max(0, nbytes)
-        yield from self.arm.use(self.service_time(nbytes, sequential, page_size))
+        # Hottest instrumented path in the simulator: guard on `enabled` so
+        # untraced runs skip even the null span call.
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            with tracer.span("disk.access", component="storage", host=self.name,
+                             bytes=max(0, nbytes), write=write):
+                yield from self.arm.use(self.service_time(nbytes, sequential, page_size))
+        else:
+            yield from self.arm.use(self.service_time(nbytes, sequential, page_size))
 
     def mean_utilization(self, start: float = 0.0, end=None) -> float:
         """Fraction of time the arm was busy over the window (paper's 14%)."""

@@ -39,6 +39,7 @@ from repro.errors import (
     TooManySymlinks,
 )
 from repro.hosts import Host
+from repro.obs.trace import _NULL_SPAN
 from repro.rpc.connection import Connection
 from repro.rpc.costs import EncryptionMode, RpcCosts
 from repro.rpc.node import RpcNode
@@ -150,6 +151,26 @@ class Venus:
         self.fetches = 0
         self.validations = 0
         self.callback_breaks_received = 0
+
+        # Registry instruments (the dashboard and --metrics-json read these).
+        # Providers close over self: reset_counters zeroes the raw ints and
+        # the instruments keep reading the live values.
+        metrics = self.sim.metrics
+        prefix = f"venus.{host.name}"
+        metrics.counter(f"{prefix}.opens", lambda: self.opens)
+        metrics.counter(f"{prefix}.fetches", lambda: self.fetches)
+        metrics.counter(f"{prefix}.stores", lambda: self.stores)
+        metrics.counter(f"{prefix}.validations", lambda: self.validations)
+        metrics.counter(f"{prefix}.callback_breaks_received",
+                        lambda: self.callback_breaks_received)
+        metrics.counter(f"{prefix}.cache.hits", lambda: self.cache.hits)
+        metrics.counter(f"{prefix}.cache.misses", lambda: self.cache.misses)
+        metrics.counter(f"{prefix}.cache.evictions", lambda: self.cache.evictions)
+        metrics.counter(f"{prefix}.cache.invalidations",
+                        lambda: self.cache.invalidations)
+        metrics.gauge(f"{prefix}.cache.hit_ratio", lambda: self.cache.hit_ratio)
+        metrics.gauge(f"{prefix}.cache.files", lambda: len(self.cache))
+        metrics.gauge(f"{prefix}.cache.used_bytes", lambda: self.cache.used_bytes)
 
     # ==================================================================
     # sessions
@@ -402,44 +423,50 @@ class Venus:
         self._require_login(username)
         vice_path = pathutil.normalize(vice_path)
         self.opens += 1
-        yield from self.host.compute(self.costs.open_base_cpu)
+        tracer = self.sim.tracer
+        with (tracer.span("venus.open", component="venus",
+                          host=self.host.name, path=vice_path)
+              if tracer.enabled else _NULL_SPAN) as span:
+            yield from self.host.compute(self.costs.open_base_cpu)
 
-        entry = self.cache.lookup(vice_path)
-        if entry is not None:
-            usable = yield from self._entry_usable(username, entry)
-            if usable:
-                self.cache.note_hit()
-                if need_data:
-                    yield from self.host.disk.access(entry.size)
+            entry = self.cache.lookup(vice_path)
+            if entry is not None:
+                usable = yield from self._entry_usable(username, entry)
+                if usable:
+                    self.cache.note_hit()
+                    span.add(hit=True)
+                    if need_data:
+                        yield from self.host.disk.access(entry.size)
+                    entry.open_count += 1
+                    return entry
+                self.cache.remove(vice_path)
+
+            if not need_data:
+                # Truncating open: no fetch was needed or avoided, so this is
+                # neither a cache hit nor a miss; close() will store.
+                entry = self._placeholder_entry(vice_path)
                 entry.open_count += 1
-                return entry
-            self.cache.remove(vice_path)
-
-        if not need_data:
-            # Truncating open: no fetch was needed or avoided, so this is
-            # neither a cache hit nor a miss; close() will store.
-            entry = self._placeholder_entry(vice_path)
+                return self.cache.insert(entry)
+            self.cache.note_miss()
+            span.add(hit=False)
+            try:
+                status, data = yield from self._fetch(username, vice_path)
+            except FileNotFound:
+                if not create:
+                    raise
+                entry = self._placeholder_entry(vice_path)
+                entry.open_count += 1
+                return self.cache.insert(entry)
+            self.fetches += 1
+            yield from self.host.compute(len(data) * self.costs.per_byte_cpu)
+            yield from self.host.disk.access(len(data), write=True)
+            entry = CacheEntry(vice_path, status["fid"], data, status["version"], status)
+            if self._pending_breaks.pop(status["fid"], None) is not None:
+                # A break raced this fetch: the copy is usable for this open
+                # but must be revalidated before the next one.
+                entry.callback_valid = False
             entry.open_count += 1
             return self.cache.insert(entry)
-        self.cache.note_miss()
-        try:
-            status, data = yield from self._fetch(username, vice_path)
-        except FileNotFound:
-            if not create:
-                raise
-            entry = self._placeholder_entry(vice_path)
-            entry.open_count += 1
-            return self.cache.insert(entry)
-        self.fetches += 1
-        yield from self.host.compute(len(data) * self.costs.per_byte_cpu)
-        yield from self.host.disk.access(len(data), write=True)
-        entry = CacheEntry(vice_path, status["fid"], data, status["version"], status)
-        if self._pending_breaks.pop(status["fid"], None) is not None:
-            # A break raced this fetch: the copy is usable for this open but
-            # must be revalidated before the next one.
-            entry.callback_valid = False
-        entry.open_count += 1
-        return self.cache.insert(entry)
 
     def _placeholder_entry(self, vice_path: str) -> CacheEntry:
         status = {
@@ -472,22 +499,26 @@ class Venus:
         return bool(result.get("valid"))
 
     def _validate(self, username: str, entry: CacheEntry) -> Generator:
-        if self.mode == "prototype":
-            result, _ = yield from self._call_path(
-                username,
-                entry.vice_path,
-                "ValidateCache",
-                {"path": entry.vice_path, "version": entry.version},
-                want_write=False,
+        tracer = self.sim.tracer
+        with (tracer.span("venus.validate", component="venus",
+                          host=self.host.name, path=entry.vice_path)
+              if tracer.enabled else _NULL_SPAN):
+            if self.mode == "prototype":
+                result, _ = yield from self._call_path(
+                    username,
+                    entry.vice_path,
+                    "ValidateCache",
+                    {"path": entry.vice_path, "version": entry.version},
+                    want_write=False,
+                )
+                return result
+            location = yield from self._entry_for(username, entry.vice_path)
+            server = self._fid_server(location, entry.fid)
+            result, _ = yield from self._fid_call(
+                username, location, server,
+                "ValidateByFid", {"fid": entry.fid, "version": entry.version},
             )
             return result
-        location = yield from self._entry_for(username, entry.vice_path)
-        server = self._fid_server(location, entry.fid)
-        result, _ = yield from self._fid_call(
-            username, location, server,
-            "ValidateByFid", {"fid": entry.fid, "version": entry.version},
-        )
-        return result
 
     def _fetch(self, username: str, vice_path: str) -> Generator:
         guess = _DEFAULT_FETCH_GUESS
@@ -508,33 +539,44 @@ class Venus:
     ) -> Generator:
         """Close a descriptor; store-through when the file changed."""
         self._require_login(username)
-        yield from self.host.compute(self.costs.close_base_cpu)
-        if entry.open_count > 0:
-            entry.open_count -= 1
-        if new_data is None and not (entry.dirty and entry.open_count == 0):
-            return  # clean close: no Vice traffic at all
-        if new_data is not None:
-            yield from self.host.compute(len(new_data) * self.costs.per_byte_cpu)
-            yield from self.host.disk.access(len(new_data), write=True)
-            entry.data = bytes(new_data)
-            entry.dirty = True
-        if entry.open_count > 0:
-            return  # last closer writes through
-        if self.write_policy == "deferred":
-            if entry.vice_path in self._flush_scheduled:
-                # A flush timer is already pending: this close rides along.
-                self.coalesced_stores += 1
+        tracer = self.sim.tracer
+        with (tracer.span("venus.close", component="venus",
+                          host=self.host.name, path=entry.vice_path)
+              if tracer.enabled else _NULL_SPAN):
+            yield from self.host.compute(self.costs.close_base_cpu)
+            if entry.open_count > 0:
+                entry.open_count -= 1
+            if new_data is None and not (entry.dirty and entry.open_count == 0):
+                return  # clean close: no Vice traffic at all
+            if new_data is not None:
+                yield from self.host.compute(len(new_data) * self.costs.per_byte_cpu)
+                yield from self.host.disk.access(len(new_data), write=True)
+                entry.data = bytes(new_data)
+                entry.dirty = True
+            if entry.open_count > 0:
+                return  # last closer writes through
+            if self.write_policy == "deferred":
+                if entry.vice_path in self._flush_scheduled:
+                    # A flush timer is already pending: this close rides along.
+                    self.coalesced_stores += 1
+                    return
+                self._flush_scheduled.add(entry.vice_path)
+                self.deferred_flushes += 1
+                self.sim.process(
+                    self._flush_later(username, entry),
+                    name=f"flush:{entry.vice_path}",
+                )
                 return
-            self._flush_scheduled.add(entry.vice_path)
-            self.deferred_flushes += 1
-            self.sim.process(
-                self._flush_later(username, entry),
-                name=f"flush:{entry.vice_path}",
-            )
-            return
-        yield from self._store(username, entry)
+            yield from self._store(username, entry)
 
     def _store(self, username: str, entry: CacheEntry) -> Generator:
+        with self.sim.tracer.span(
+            "venus.store", component="venus", host=self.host.name,
+            path=entry.vice_path, bytes=len(entry.data),
+        ):
+            yield from self._store_inner(username, entry)
+
+    def _store_inner(self, username: str, entry: CacheEntry) -> Generator:
         data = entry.data
         if self.mode == "prototype":
             status, _ = yield from self._call_path(

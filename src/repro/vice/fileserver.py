@@ -33,6 +33,7 @@ from repro.errors import (
     PermissionDenied,
     ReproError,
 )
+from repro.obs.trace import _NULL_SPAN
 from repro.rpc.connection import Connection
 from repro.storage import pathutil
 from repro.storage.unixfs import FileType, Inode
@@ -198,8 +199,12 @@ class FileService:
         holders = self.server.callbacks.holders(fid, exclude=exclude)
         if not holders:
             return
+        # The breaks run in spawned processes, outside this span stack: hand
+        # them the current span as an explicit parent so the trace tree keeps
+        # the mutation -> break causality.
+        parent = self.sim.tracer.current()
         breaks = [
-            self.sim.process(self._break_one(conn, fid), name=f"break:{fid}")
+            self.sim.process(self._break_one(conn, fid, parent), name=f"break:{fid}")
             for conn in holders
         ]
         yield self.sim.all_of(breaks)
@@ -207,11 +212,15 @@ class FileService:
             self.server.callbacks.forget_holder(fid, conn)
         self.server.callbacks.promises_broken += len(holders)
 
-    def _break_one(self, conn: Connection, fid: str) -> Generator:
-        try:
-            yield from self.server.node.call(conn, "BreakCallback", {"fid": fid})
-        except ReproError:
-            pass  # holder unreachable: its promise simply lapses
+    def _break_one(self, conn: Connection, fid: str, parent=None) -> Generator:
+        with self.sim.tracer.span(
+            "vice.callback_break", component="vice", host=self.host.name,
+            parent=parent, fid=fid,
+        ):
+            try:
+                yield from self.server.node.call(conn, "BreakCallback", {"fid": fid})
+            except ReproError:
+                pass  # holder unreachable: its promise simply lapses
 
     def _maybe_promise(self, volume: Volume, inode: Inode, conn: Connection) -> None:
         """Register a callback promise when running invalidate-on-modify."""
@@ -244,20 +253,25 @@ class FileService:
             raise IsADirectory(volume.path_of(inode.number))
         self._check(volume, inode, conn.username, Rights.READ)
         fid = make_fid(volume.volume_id, inode.number)
-        guard = yield from self.server.vnode_guard(fid)
-        try:
-            data = inode.data if inode.file_type == FileType.FILE else inode.target.encode()
-            yield from self.host.compute(
-                self.costs.fetch_base_cpu
-                + self.costs.acl_check_cpu
-                + len(data) * self.costs.per_byte_cpu
-            )
-            yield from self.host.disk.access(len(data), sequential=True)
-            yield from self._status_disk()
-            self._maybe_promise(volume, inode, conn)
-            status = self._status_of(volume, inode, conn.username)
-        finally:
-            self.server.vnode_release(fid, guard)
+        tracer = self.sim.tracer
+        with (tracer.span("vice.fetch", component="vice",
+                          host=self.host.name, fid=fid)
+              if tracer.enabled else _NULL_SPAN) as span:
+            guard = yield from self.server.vnode_guard(fid)
+            try:
+                data = inode.data if inode.file_type == FileType.FILE else inode.target.encode()
+                span.add(bytes=len(data))
+                yield from self.host.compute(
+                    self.costs.fetch_base_cpu
+                    + self.costs.acl_check_cpu
+                    + len(data) * self.costs.per_byte_cpu
+                )
+                yield from self.host.disk.access(len(data), sequential=True)
+                yield from self._status_disk()
+                self._maybe_promise(volume, inode, conn)
+                status = self._status_of(volume, inode, conn.username)
+            finally:
+                self.server.vnode_release(fid, guard)
         self.server.note_volume_access(volume, conn, len(data))
         self._count("fetch")
         return status, bytes(data)
@@ -276,32 +290,36 @@ class FileService:
         guard_fid = make_fid(
             volume.volume_id, parent.number if created else inode.number
         )
-        guard = yield from self.server.vnode_guard(guard_fid)
-        try:
-            yield from self.host.compute(
-                self.costs.store_base_cpu
-                + self.costs.acl_check_cpu
-                + len(data) * self.costs.per_byte_cpu
-            )
-            yield from self.host.disk.access(len(data), write=True, sequential=True)
-            yield from self._status_disk()
-            if created:
-                parent_path = volume.path_of(parent.number)
-                inode = volume.create_file(
-                    pathutil.join(parent_path, name), data, owner=conn.username
+        tracer = self.sim.tracer
+        with (tracer.span("vice.store", component="vice", host=self.host.name,
+                          bytes=len(data), created=created)
+              if tracer.enabled else _NULL_SPAN):
+            guard = yield from self.server.vnode_guard(guard_fid)
+            try:
+                yield from self.host.compute(
+                    self.costs.store_base_cpu
+                    + self.costs.acl_check_cpu
+                    + len(data) * self.costs.per_byte_cpu
                 )
-            else:
-                inode = volume.write_vnode(inode.number, data)
-            fid = make_fid(volume.volume_id, inode.number)
-            yield from self._break_callbacks(fid, exclude=conn)
-            if created:
-                # The directory changed too: holders of its cached copy hear.
-                parent_fid = make_fid(volume.volume_id, parent.number)
-                yield from self._break_callbacks(parent_fid, exclude=conn)
-            self._maybe_promise(volume, inode, conn)
-            status = self._status_of(volume, inode, conn.username)
-        finally:
-            self.server.vnode_release(guard_fid, guard)
+                yield from self.host.disk.access(len(data), write=True, sequential=True)
+                yield from self._status_disk()
+                if created:
+                    parent_path = volume.path_of(parent.number)
+                    inode = volume.create_file(
+                        pathutil.join(parent_path, name), data, owner=conn.username
+                    )
+                else:
+                    inode = volume.write_vnode(inode.number, data)
+                fid = make_fid(volume.volume_id, inode.number)
+                yield from self._break_callbacks(fid, exclude=conn)
+                if created:
+                    # The directory changed too: holders of its cached copy hear.
+                    parent_fid = make_fid(volume.volume_id, parent.number)
+                    yield from self._break_callbacks(parent_fid, exclude=conn)
+                self._maybe_promise(volume, inode, conn)
+                status = self._status_of(volume, inode, conn.username)
+            finally:
+                self.server.vnode_release(guard_fid, guard)
         self.server.note_volume_access(volume, conn, len(data))
         self._count("store")
         return status, b""

@@ -117,6 +117,24 @@ class ViceServer:
         self.node.register("ReceiveVolume", self._receive_volume_handler)
         self.node.register("DropVolume", self._drop_volume_handler)
 
+        # Registry instruments.  Closures read through self, so they follow
+        # object replacement (reset_counters swaps the Counters, salvage
+        # rebuilds the callback registry) without re-registration.
+        metrics = self.sim.metrics
+        prefix = f"vice.{host.name}"
+        metrics.counter(f"{prefix}.call_mix", lambda: self.call_mix)
+        metrics.counter(f"{prefix}.volume_traffic", lambda: self.volume_traffic)
+        metrics.counter(f"{prefix}.usage_by_user", lambda: self.usage_by_user)
+        metrics.gauge(f"{prefix}.callbacks.held", lambda: self.callbacks.state_size)
+        metrics.counter(f"{prefix}.callbacks.broken",
+                        lambda: self.callbacks.promises_broken)
+        metrics.gauge(f"{prefix}.locks.held", lambda: len(self.locks))
+        metrics.gauge(f"{prefix}.volumes", lambda: len(self.volumes))
+        metrics.gauge(f"{prefix}.files", lambda: sum(
+            volume.file_count for volume in self.volumes.values()))
+        metrics.gauge(f"{prefix}.used_bytes", lambda: sum(
+            volume.used_bytes for volume in self.volumes.values()))
+
     # ------------------------------------------------------------------
     # authentication
     # ------------------------------------------------------------------

@@ -42,3 +42,47 @@ def test_status_dashboard(capsys):
     out = capsys.readouterr().out
     assert "Vice servers" in out
     assert "Campus call mix" in out
+
+
+def test_status_campus_shape_flags(capsys):
+    assert main([
+        "status", "--clusters", "1", "--workstations", "2",
+        "--duration", "120", "--warmup", "20",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "1 clusters" in out
+    assert "2 workstations" in out
+    assert "ws0-1" in out
+    assert "ws1-0" not in out  # only one cluster was built
+
+
+def test_status_trace_and_metrics_outputs(tmp_path, capsys):
+    import json
+
+    trace_path = tmp_path / "status.trace.json"
+    metrics_path = tmp_path / "status.metrics.json"
+    assert main([
+        "status", "--clusters", "1", "--workstations", "1",
+        "--duration", "60", "--warmup", "10",
+        "--trace", str(trace_path), "--metrics-json", str(metrics_path),
+    ]) == 0
+    trace = json.loads(trace_path.read_text())
+    assert trace["traceEvents"]
+    metrics = json.loads(metrics_path.read_text())
+    assert any(name.startswith("venus.") for name in metrics)
+    assert any(name.startswith("vice.") for name in metrics)
+
+
+def test_trace_subcommand_writes_valid_trace(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "trace.json"
+    jsonl_path = tmp_path / "trace.jsonl"
+    assert main([
+        "trace", "--check", "--out", str(out_path), "--jsonl", str(jsonl_path),
+    ]) == 0
+    printed = capsys.readouterr().out
+    assert "coverage OK" in printed
+    events = json.loads(out_path.read_text())["traceEvents"]
+    assert any(e.get("ph") == "X" for e in events)
+    assert len(jsonl_path.read_text().splitlines()) > 0

@@ -1,0 +1,197 @@
+"""Tests for the unified metrics registry (repro.obs.registry)."""
+
+import json
+
+import pytest
+
+from tests.helpers import alice_session, run, small_campus
+
+from repro.obs import MetricsRegistry
+from repro.sim.kernel import Simulator
+from repro.sim.metrics import Counter, Samples, UtilizationTracker
+
+
+# ======================================================================
+# instrument kinds
+# ======================================================================
+
+
+def test_counter_from_counter_object():
+    registry = MetricsRegistry()
+    counter = Counter("calls")
+    registry.counter("rpc.s.calls", counter)
+    counter.add("Fetch")
+    counter.add("Fetch")
+    counter.add("Store")
+    reading = registry.value("rpc.s.calls")
+    assert reading == {
+        "type": "counter", "total": 3, "counts": {"Fetch": 2, "Store": 1},
+    }
+
+
+def test_counter_from_int_closure():
+    registry = MetricsRegistry()
+    state = {"n": 0}
+    registry.counter("venus.ws.opens", lambda: state["n"])
+    state["n"] = 7
+    assert registry.value("venus.ws.opens") == {"type": "counter", "total": 7}
+
+
+def test_gauge_reads_live_value():
+    registry = MetricsRegistry()
+    box = {"v": 1.5}
+    registry.gauge("venus.ws.hit_ratio", lambda: box["v"])
+    assert registry.value("venus.ws.hit_ratio")["value"] == 1.5
+    box["v"] = 0.25
+    assert registry.value("venus.ws.hit_ratio")["value"] == 0.25
+
+
+def test_histogram_get_or_create_returns_same_bag():
+    registry = MetricsRegistry()
+    bag = registry.histogram("rpc.ws.latency.Fetch")
+    assert registry.histogram("rpc.ws.latency.Fetch") is bag
+    bag.add(0.010)
+    bag.add(0.030)
+    reading = registry.value("rpc.ws.latency.Fetch")
+    assert reading["type"] == "histogram"
+    assert reading["count"] == 2
+    assert reading["min"] == 0.010
+    assert reading["max"] == 0.030
+    assert reading["p50"] <= reading["p90"] <= reading["p99"]
+
+
+def test_utilization_instrument():
+    sim = Simulator()
+    registry = MetricsRegistry()
+    tracker = UtilizationTracker(sim, capacity=1)
+    registry.utilization("host.h.cpu", lambda: tracker)
+    reading = registry.value("host.h.cpu")
+    assert reading["type"] == "utilization"
+    assert set(reading) == {"type", "mean", "peak"}
+
+
+def test_unknown_kind_rejected():
+    registry = MetricsRegistry()
+    registry._register("bad", "thermometer", lambda: 0)
+    with pytest.raises(ValueError):
+        registry.value("bad")
+
+
+# ======================================================================
+# namespace operations
+# ======================================================================
+
+
+def test_names_prefix_filter_and_contains():
+    registry = MetricsRegistry()
+    registry.gauge("venus.ws0.opens", lambda: 1)
+    registry.gauge("venus.ws1.opens", lambda: 2)
+    registry.gauge("vice.s0.volumes", lambda: 3)
+    assert registry.names("venus.") == ["venus.ws0.opens", "venus.ws1.opens"]
+    assert "vice.s0.volumes" in registry
+    assert "vice.s0.files" not in registry
+    assert len(registry) == 3
+
+
+def test_reregistration_replaces():
+    registry = MetricsRegistry()
+    registry.gauge("x", lambda: 1)
+    registry.gauge("x", lambda: 2)
+    assert len(registry) == 1
+    assert registry.value("x")["value"] == 2
+
+
+def test_unregister_by_prefix():
+    registry = MetricsRegistry()
+    registry.gauge("venus.ws0.a", lambda: 1)
+    registry.gauge("venus.ws0.b", lambda: 1)
+    registry.gauge("vice.s0.c", lambda: 1)
+    assert registry.unregister("venus.ws0.") == 2
+    assert registry.names() == ["vice.s0.c"]
+
+
+def test_missing_instrument_raises():
+    registry = MetricsRegistry()
+    with pytest.raises(KeyError):
+        registry.value("nope")
+    assert registry.get("nope") is None
+
+
+# ======================================================================
+# snapshots: the campus-wide read surface
+# ======================================================================
+
+
+def test_snapshot_round_trips_through_json():
+    campus = small_campus()
+    session = alice_session(campus)
+    run(campus, session.write_file("/vice/usr/alice/f", b"d" * 2000))
+    run(campus, session.read_file("/vice/usr/alice/f"))
+    snapshot = campus.metrics.snapshot()
+    decoded = json.loads(json.dumps(snapshot, sort_keys=True))
+    assert decoded == snapshot
+    # Every component layer registered itself.
+    prefixes = {name.split(".", 1)[0] for name in snapshot}
+    assert {"venus", "vice", "rpc", "host"} <= prefixes
+
+
+def test_snapshot_matches_raw_attributes():
+    campus = small_campus()
+    session = alice_session(campus)
+    run(campus, session.write_file("/vice/usr/alice/g", b"d" * 500))
+    run(campus, session.read_file("/vice/usr/alice/g"))
+    venus = campus.workstation(0).venus
+    name = campus.workstation(0).name
+    snap = campus.metrics.snapshot(f"venus.{name}.")
+    assert snap[f"venus.{name}.opens"]["total"] == venus.opens
+    assert snap[f"venus.{name}.cache.hits"]["total"] == venus.cache.hits
+    assert snap[f"venus.{name}.cache.used_bytes"]["value"] == venus.cache.used_bytes
+    server = campus.servers[0]
+    sname = server.host.name
+    reading = campus.metrics.value(f"vice.{sname}.call_mix")
+    assert reading["counts"] == server.call_mix.as_dict()
+    assert (campus.metrics.value(f"rpc.{sname}.calls_received")["total"]
+            == server.node.calls_received.total)
+
+
+def test_latency_histograms_populate_per_procedure():
+    campus = small_campus(workstations_per_cluster=2)
+    writer = alice_session(campus, ws=0)
+    reader = alice_session(campus, ws=1)
+    run(campus, writer.write_file("/vice/usr/alice/h", b"d" * 4000))
+    run(campus, reader.read_file("/vice/usr/alice/h"))
+    bags = campus.metrics.histograms("rpc.")
+    procs = {name.rsplit(".", 1)[1] for name in bags}
+    assert "FetchByFid" in procs
+    assert "CreateByFid" in procs
+    for bag in bags.values():
+        assert isinstance(bag, Samples)
+        assert len(bag) >= 1
+        assert bag.mean > 0
+
+
+# ======================================================================
+# providers are closures: they survive counter resets
+# ======================================================================
+
+
+def test_instruments_survive_reset_counters():
+    campus = small_campus()
+    session = alice_session(campus)
+    run(campus, session.write_file("/vice/usr/alice/r", b"d" * 100))
+    run(campus, session.read_file("/vice/usr/alice/r"))
+    name = campus.workstation(0).name
+    sname = campus.servers[0].host.name
+    assert campus.metrics.value(f"venus.{name}.fetches")["total"] >= 0
+    assert campus.metrics.value(f"rpc.{sname}.calls_received")["total"] > 0
+
+    # reset_counters REPLACES the Counter objects and zeroes the raw ints;
+    # the registry must read the fresh state, not a stale captured object.
+    campus.reset_counters()
+    assert campus.metrics.value(f"rpc.{sname}.calls_received")["total"] == 0
+    assert campus.metrics.value(f"venus.{name}.cache.hits")["total"] == 0
+    assert campus.metrics.value(f"vice.{sname}.call_mix")["total"] == 0
+
+    run(campus, session.read_file("/vice/usr/alice/r"))
+    assert campus.metrics.value(f"rpc.{sname}.calls_received")["total"] >= 0
+    assert campus.metrics.value(f"venus.{name}.opens")["total"] > 0

@@ -1,0 +1,266 @@
+"""Tests for the causal tracing layer (repro.obs.trace)."""
+
+import json
+
+from tests.helpers import alice_session, run, small_campus
+
+from repro.obs import (
+    NULL_RECORDER,
+    TraceRecorder,
+    chrome_trace,
+    validate_coverage,
+)
+from repro.sim.kernel import Simulator
+
+
+# ======================================================================
+# span mechanics on a bare simulator
+# ======================================================================
+
+
+def test_nested_spans_record_parentage():
+    sim = Simulator()
+    recorder = TraceRecorder(sim)
+    with recorder.span("outer", component="test") as outer:
+        with recorder.span("inner", component="test") as inner:
+            assert inner.span.parent_id == outer.span.span_id
+            assert inner.span.trace_id == outer.span.trace_id
+    assert [s.name for s in recorder.spans] == ["inner", "outer"]
+    assert recorder.spans[1].parent_id is None
+
+
+def test_sibling_roots_get_distinct_traces():
+    sim = Simulator()
+    recorder = TraceRecorder(sim)
+    with recorder.span("first"):
+        pass
+    with recorder.span("second"):
+        pass
+    first, second = recorder.spans
+    assert first.trace_id != second.trace_id
+
+
+def test_span_records_virtual_time():
+    sim = Simulator()
+    recorder = TraceRecorder(sim)
+
+    def job():
+        with recorder.span("work"):
+            yield sim.timeout(2.5)
+
+    sim.run_until_complete(sim.process(job()))
+    (span,) = recorder.spans
+    assert span.start == 0.0
+    assert span.duration == 2.5
+
+
+def test_interleaved_processes_keep_separate_stacks():
+    """Two processes alternating at yields must not adopt each other's spans."""
+    sim = Simulator()
+    recorder = TraceRecorder(sim)
+
+    def worker(name, delay):
+        with recorder.span(name):
+            yield sim.timeout(delay)
+            with recorder.span(name + ".child"):
+                yield sim.timeout(delay)
+
+    sim.process(worker("a", 1.0))
+    sim.process(worker("b", 1.5))
+    sim.run()
+    by_name = {s.name: s for s in recorder.spans}
+    assert by_name["a.child"].parent_id == by_name["a"].span_id
+    assert by_name["b.child"].parent_id == by_name["b"].span_id
+    assert by_name["a"].trace_id != by_name["b"].trace_id
+
+
+def test_explicit_parent_and_tuple_context():
+    sim = Simulator()
+    recorder = TraceRecorder(sim)
+    with recorder.span("root") as root:
+        ctx = recorder.context()
+    assert ctx == (root.span.trace_id, root.span.span_id)
+    # A propagated (trace_id, span_id) hop, as carried on an Envelope.
+    with recorder.span("remote", parent=ctx) as remote:
+        assert remote.span.trace_id == root.span.trace_id
+        assert remote.span.parent_id == root.span.span_id
+
+
+def test_span_error_capture():
+    sim = Simulator()
+    recorder = TraceRecorder(sim)
+    try:
+        with recorder.span("doomed"):
+            raise ValueError("boom")
+    except ValueError:
+        pass
+    (span,) = recorder.spans
+    assert span.error == "ValueError: boom"
+
+
+# ======================================================================
+# the null recorder: zero cost when off
+# ======================================================================
+
+
+def test_null_recorder_is_the_default():
+    sim = Simulator()
+    assert sim.tracer is NULL_RECORDER
+    assert not sim.tracer.enabled
+    assert sim.tracer.spans == ()
+
+
+def test_null_recorder_allocates_nothing():
+    ctx1 = NULL_RECORDER.span("anything", component="x", host="y", attr=1)
+    ctx2 = NULL_RECORDER.span("other")
+    assert ctx1 is ctx2  # the one preallocated no-op context
+    with ctx1 as span:
+        span.add(ignored=True)
+        span.rename("still ignored")
+    assert NULL_RECORDER.current() is None
+    assert NULL_RECORDER.context() is None
+
+
+# ======================================================================
+# end to end across the campus
+# ======================================================================
+
+
+def _traced_workload(campus):
+    """Write at one workstation, read at another: one store, one cold fetch."""
+    recorder = TraceRecorder(campus.sim)
+    writer = alice_session(campus, ws=0)
+    reader = alice_session(campus, ws=1)
+    run(campus, writer.write_file("/vice/usr/alice/f", b"x" * 9000))
+    run(campus, reader.read_file("/vice/usr/alice/f"))
+    return recorder
+
+
+def test_rpc_hop_propagates_trace_context():
+    campus = small_campus()
+    recorder = _traced_workload(campus)
+    by_id = {s.span_id: s for s in recorder.spans}
+    serves = [s for s in recorder.spans if s.name.startswith("rpc.serve:")]
+    assert serves, "no server-side spans recorded"
+    for serve in serves:
+        parent = by_id[serve.parent_id]
+        assert parent.name == "rpc.call:" + serve.name.split(":", 1)[1]
+        assert parent.trace_id == serve.trace_id
+        assert parent.host != serve.host  # the hop crossed machines
+
+
+def test_trace_covers_fetch_and_store_chains():
+    campus = small_campus()
+    recorder = _traced_workload(campus)
+    assert validate_coverage(recorder.spans) == []
+
+
+def test_validate_coverage_reports_gaps():
+    assert validate_coverage([]) == ["trace contains no spans"]
+    campus = small_campus()
+    recorder = TraceRecorder(campus.sim)
+    session = alice_session(campus)
+    run(campus, session.write_file("/vice/usr/alice/g", b"y" * 100))
+    only_stores = [s for s in recorder.spans if "venus.open" not in s.name]
+    problems = validate_coverage(only_stores)
+    assert any("Fetch chain" in p for p in problems)
+
+
+def test_callback_break_is_parented_to_the_mutation():
+    campus = small_campus(workstations_per_cluster=2)
+    recorder = TraceRecorder(campus.sim)
+    reader = alice_session(campus, ws=0)
+    writer = alice_session(campus, ws=1)
+    run(campus, writer.write_file("/vice/usr/alice/shared", b"v1"))
+    run(campus, reader.read_file("/vice/usr/alice/shared"))  # takes a callback
+    run(campus, writer.write_file("/vice/usr/alice/shared", b"v2"))  # breaks it
+    breaks = [s for s in recorder.spans if s.name == "vice.callback_break"]
+    assert breaks, "no callback-break spans recorded"
+    by_id = {s.span_id: s for s in recorder.spans}
+    for brk in breaks:
+        assert brk.parent_id is not None
+        assert by_id[brk.parent_id].name == "vice.store"
+
+
+# ======================================================================
+# virtual time must not move
+# ======================================================================
+
+
+def _workload_clock(traced):
+    campus = small_campus()
+    recorder = TraceRecorder(campus.sim) if traced else None
+    session = alice_session(campus)
+    run(campus, session.write_file("/vice/usr/alice/t", b"z" * 5000))
+    run(campus, session.read_file("/vice/usr/alice/t"))
+    run(campus, session.listdir("/vice/usr/alice"))
+    return campus.sim.now, recorder
+
+
+def test_tracing_does_not_perturb_virtual_time():
+    untraced_now, _ = _workload_clock(traced=False)
+    traced_now, recorder = _workload_clock(traced=True)
+    assert recorder.spans  # the traced run really did record
+    assert traced_now == untraced_now  # byte-identical clocks
+
+
+# ======================================================================
+# export formats
+# ======================================================================
+
+
+def test_jsonl_export_round_trips(tmp_path):
+    campus = small_campus()
+    recorder = _traced_workload(campus)
+    path = tmp_path / "spans.jsonl"
+    recorder.write_jsonl(str(path))
+    lines = path.read_text().splitlines()
+    assert len(lines) == len(recorder.spans)
+    records = [json.loads(line) for line in lines]
+    assert {r["name"] for r in records} == {s.name for s in recorder.spans}
+    for record in records:
+        assert record["duration"] >= 0.0
+
+
+def test_chrome_trace_is_wellformed(tmp_path):
+    campus = small_campus()
+    recorder = _traced_workload(campus)
+    path = tmp_path / "trace.json"
+    recorder.write_chrome_trace(str(path))
+    data = json.loads(path.read_text())
+    events = data["traceEvents"]
+    assert isinstance(events, list) and events
+    complete = [e for e in events if e["ph"] == "X"]
+    metadata = [e for e in events if e["ph"] == "M"]
+    assert len(complete) == len(recorder.spans)
+    for event in complete:
+        assert {"name", "ts", "dur", "pid", "tid", "cat", "args"} <= set(event)
+        assert event["ts"] >= 0 and event["dur"] >= 0
+    named = {e["args"]["name"] for e in metadata if e["name"] == "process_name"}
+    assert {"venus", "rpc", "vice", "storage"} <= named
+
+
+def test_chrome_trace_groups_by_component_and_host():
+    campus = small_campus()
+    recorder = _traced_workload(campus)
+    data = chrome_trace(recorder.spans)
+    pids = {}
+    for event in data["traceEvents"]:
+        if event["ph"] == "M" and event["name"] == "process_name":
+            pids[event["pid"]] = event["args"]["name"]
+    for event in data["traceEvents"]:
+        if event["ph"] == "X":
+            assert pids[event["pid"]] == event["cat"]
+
+
+def test_recorder_attach_spans_multiple_simulations():
+    sim_a, sim_b = Simulator(), Simulator()
+    recorder = TraceRecorder(sim_a)
+    with recorder.span("on-a"):
+        pass
+    recorder.attach(sim_b)
+    assert sim_b.tracer is recorder
+    with recorder.span("on-b"):
+        pass
+    ids = [s.span_id for s in recorder.spans]
+    assert len(set(ids)) == len(ids)  # ids keep counting, no collisions
