@@ -1,17 +1,23 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test bench-smoke trace-smoke bench results
+.PHONY: check test bench-smoke campus-smoke trace-smoke bench results
 
-# Tier-1 gate: the full test suite plus the microbenchmark time budgets.
-# A >2x wall-clock regression in the kernel or cipher fails bench-smoke.
-check: test bench-smoke
+# Tier-1 gate: the full test suite plus the wall-clock time budgets.
+# A >2x wall-clock regression in the kernel, cipher or the end-to-end
+# campus path fails the corresponding smoke target.
+check: test bench-smoke campus-smoke
 
 test:
 	$(PYTHON) -m pytest tests/ -q
 
 bench-smoke:
 	$(PYTHON) benchmarks/bench_kernel.py --smoke
+
+# Scaled-down 20-workstation campus under a hard wall-clock budget.
+campus-smoke:
+	mkdir -p benchmarks/results
+	$(PYTHON) benchmarks/bench_campus.py --smoke --json benchmarks/results/campus-smoke.json
 
 # Run a short traced Andrew benchmark and validate the trace covers
 # open -> RPC -> server -> disk for at least one fetch and one store.

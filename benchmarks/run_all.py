@@ -38,6 +38,7 @@ from repro.rpc.costs import EncryptionMode
 from repro.sim.metrics import Samples
 
 from _common import RESULTS_DIR, run_andrew
+from bench_campus import run_campus_benchmark
 from bench_encryption import run_mode
 from bench_kernel import run_microbenchmarks
 from bench_scalability import run_concurrent
@@ -145,6 +146,17 @@ def collect() -> dict:
     report["experiments"]["EXP-5"] = bench_exp5()
     print("EXP-11 (encryption modes)...")
     report["experiments"]["EXP-11"] = bench_exp11()
+    print("campus scale (4 clusters, 200 workstations)...")
+    report["campus"] = run_campus_benchmark()
+    # The fixed comparison point for the campus fast-path work: the same
+    # shape measured on the reference container at commit 5870225, before
+    # the protection/routing/dispatch caches (docs/performance.md).
+    report["campus"]["reference_baseline"] = {
+        "commit": "5870225",
+        "setup_wall_seconds": 1.07,
+        "run_wall_seconds": 4.11,
+        "events_per_second": 67458,
+    }
     print("op latency (revised remote Andrew)...")
     report["op_latency"] = bench_op_latency()
     print("microbenchmarks...")
@@ -180,6 +192,15 @@ def summarize(report: dict) -> str:
             )
             lines.append(f"  {label:16s} wall {entry['wall_seconds']:7.3f} s"
                          f"   virtual {virtual}")
+    if report.get("campus"):
+        campus = report["campus"]
+        shape = campus["shape"]
+        lines.append(
+            f"campus scale ({shape['workstations']} workstations, "
+            f"{shape['groups']} groups): setup {campus['setup_wall_seconds']:.2f} s,"
+            f" run {campus['run_wall_seconds']:.2f} s"
+            f" ({campus['events_per_second']:,} events/s)"
+        )
     if report.get("op_latency"):
         lines.append("op latency, virtual ms (revised remote Andrew):")
         for category, stats in report["op_latency"].items():

@@ -7,7 +7,9 @@ Small, self-contained demonstrations of the reproduced system:
 * ``day``      — a synthetic campus day, reporting the §5.2 quantities;
 * ``mobility`` — the cold-cache/warm-cache mobility measurement;
 * ``status``   — a short campus day followed by the operator's dashboard;
-* ``trace``    — a traced benchmark run exported as a Chrome-trace file.
+* ``trace``    — a traced benchmark run exported as a Chrome-trace file;
+* ``profile``  — a cProfile'd workload: wall-clock hot spots printed next
+  to the simulation's cache counters (see ``docs/performance.md``).
 
 ``andrew`` and ``status`` accept ``--trace FILE`` (write a Perfetto-loadable
 trace of the run) and ``--metrics-json FILE`` (dump the campus metrics
@@ -184,6 +186,59 @@ def cmd_status(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    """cProfile a workload; print hot spots next to the obs-layer counters."""
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    if args.workload == "andrew":
+        print("profiling: andrew benchmark (remote, revised mode) ...")
+        profiler.enable()
+        campus, result = _andrew_once("revised", remote=True)
+        profiler.disable()
+        virtual = result.total_seconds
+    else:
+        campus = ITCSystem(
+            SystemConfig(mode="revised", clusters=args.clusters,
+                         workstations_per_cluster=args.workstations,
+                         functional_payload_crypto=False)
+        )
+        with campus.batch_setup():
+            users = provision_campus(campus, hot_files=8, cold_files=8,
+                                     shared_files=8, binary_files=6)
+        print(f"profiling: campus day, {len(users)} users, "
+              f"{args.duration:.0f}s after {args.warmup:.0f}s warm-up ...")
+        start = campus.sim.now
+        profiler.enable()
+        run_campus_day(campus, users, duration=args.duration, warmup=args.warmup)
+        profiler.disable()
+        virtual = campus.sim.now - start
+
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    print(f"\n=== hot spots (top {args.top} by {args.sort}) ===")
+    print(stream.getvalue().rstrip())
+
+    # The wall-clock picture above only means something next to what the
+    # simulation did: pair it with the registry's cache counters so a cold
+    # cache or a routing regression is visible alongside the hot functions.
+    metrics = campus.metrics
+    print(f"\n=== simulation counters ({virtual:.0f} virtual seconds) ===")
+    rows = Table(["instrument", "hits", "misses", "hit rate"], title="caches")
+    for name in metrics.names():
+        if not name.endswith("cache"):
+            continue
+        counts = metrics.value(name).get("counts", {})
+        hits, misses = counts.get("hits", 0), counts.get("misses", 0)
+        rate = hits / (hits + misses) if hits + misses else 0.0
+        rows.add(name, hits, misses, format_share(rate))
+    print(rows)
+    return 0
+
+
 def cmd_trace(args) -> int:
     """Run a short traced benchmark and export the trace."""
     campus = ITCSystem(
@@ -259,6 +314,27 @@ def main(argv=None) -> int:
                         help="warm-up before measuring, virtual seconds (default 120)")
     obs_flags(status)
     status.set_defaults(func=cmd_status)
+
+    profile = sub.add_parser(
+        "profile", help="cProfile a workload; hot spots + cache counters"
+    )
+    profile.add_argument("workload", choices=("andrew", "campus"), nargs="?",
+                         default="andrew",
+                         help="what to profile (default andrew)")
+    profile.add_argument("--top", type=int, default=15,
+                         help="how many hot functions to print (default 15)")
+    profile.add_argument("--sort", choices=("cumulative", "tottime"),
+                         default="cumulative",
+                         help="pstats sort order (default cumulative)")
+    profile.add_argument("--clusters", type=int, default=2,
+                         help="campus workload: cluster count (default 2)")
+    profile.add_argument("--workstations", type=int, default=5,
+                         help="campus workload: workstations per cluster (default 5)")
+    profile.add_argument("--duration", type=float, default=120.0,
+                         help="campus workload: measured virtual seconds (default 120)")
+    profile.add_argument("--warmup", type=float, default=30.0,
+                         help="campus workload: warm-up virtual seconds (default 30)")
+    profile.set_defaults(func=cmd_profile)
 
     trace = sub.add_parser(
         "trace", help="run a short traced benchmark, export a Chrome trace"

@@ -61,8 +61,15 @@ class Host:
         if reference_seconds <= 0:
             return
         # Inlined Resource.use: compute() is the single hottest generator in
-        # the simulation, so skip the extra delegating frame.
+        # the simulation, so skip the extra delegating frame and, when the
+        # CPU is uncontended, the Request handle allocation too.
         cpu = self.cpu
+        if cpu.try_claim():
+            try:
+                yield self.sim.timeout(reference_seconds / self.cpu_speed)
+            finally:
+                cpu.release_anon()
+            return
         request = cpu.request()
         yield request
         try:

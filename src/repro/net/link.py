@@ -69,25 +69,32 @@ class Segment:
         A generator to be driven from a simulation process.  Completes when
         the last burst has been transmitted and has propagated.
         """
-        frames = self.wire.frames_for(payload_bytes)
+        wire = self.wire
+        frames = wire.frames_for(payload_bytes)
+        wire_bytes = wire.wire_bytes(payload_bytes)
         self.frames_carried += frames
-        self.bytes_carried += self.wire.wire_bytes(payload_bytes)
-        self.traffic.add(kind, self.wire.wire_bytes(payload_bytes))
+        self.bytes_carried += wire_bytes
+        self.traffic.add(kind, wire_bytes)
 
+        # Hoist the per-frame wire overhead out of the burst loop.
+        mtu = wire.mtu
+        per_frame_bits = wire.header_bytes * 8 + wire.interframe_gap_bits
+        bandwidth = self.bandwidth_bps
+        burst_frames = self.burst_frames
+        medium_use = self.medium.use
         remaining_frames = frames
         remaining_bytes = max(payload_bytes, 0)
         while remaining_frames > 0:
-            burst = min(self.burst_frames, remaining_frames)
-            burst_bytes = min(remaining_bytes, burst * self.wire.mtu)
-            burst_bits = (
-                burst_bytes * 8
-                + burst * (self.wire.header_bytes * 8 + self.wire.interframe_gap_bits)
-            )
-            yield from self.medium.use(burst_bits / self.bandwidth_bps)
+            burst = burst_frames if burst_frames < remaining_frames else remaining_frames
+            burst_bytes = min(remaining_bytes, burst * mtu)
+            burst_bits = burst_bytes * 8 + burst * per_frame_bits
+            yield from medium_use(burst_bits / bandwidth)
             remaining_frames -= burst
             remaining_bytes -= burst_bytes
-        # Propagation + media access once per logical transfer.
-        yield self.sim.timeout(self.latency)
+        # Propagation + media access once per logical transfer; a zero-latency
+        # segment must not cost a kernel event.
+        if self.latency > 0.0:
+            yield self.sim.timeout(self.latency)
 
     def mean_utilization(self, start: float = 0.0, end=None) -> float:
         """Fraction of time the medium was busy over the window."""

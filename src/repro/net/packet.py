@@ -11,8 +11,7 @@ once per page, a whole-file transfer amortises it.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 __all__ = ["Datagram", "WireFormat"]
@@ -35,7 +34,8 @@ class WireFormat:
         """Number of frames a payload occupies (at least one)."""
         if payload_bytes <= 0:
             return 1
-        return math.ceil(payload_bytes / self.mtu)
+        # Integer ceiling division: exact for payloads too large for floats.
+        return -(-payload_bytes // self.mtu)
 
     def wire_bytes(self, payload_bytes: int) -> int:
         """Total bytes on the wire including per-frame headers."""
@@ -47,7 +47,6 @@ class WireFormat:
         return self.wire_bytes(payload_bytes) * 8 + frames * self.interframe_gap_bits
 
 
-@dataclass
 class Datagram:
     """One logical unit handed to the network: a message plus its size.
 
@@ -55,11 +54,22 @@ class Datagram:
     call records and file contents in it).  ``payload_bytes`` is the size
     used for costing; it may exceed ``len(payload)`` when the RPC layer
     accounts for marshalling overhead.
+
+    A plain ``__slots__`` class, not a dataclass: one is allocated per RPC
+    message, so the per-instance ``__dict__`` is measurable churn.
     """
 
-    source: str
-    destination: str
-    payload: Any
-    payload_bytes: int
-    hops: int = 0
-    metadata: dict = field(default_factory=dict)
+    __slots__ = ("source", "destination", "payload", "payload_bytes", "hops", "metadata")
+
+    def __init__(self, source: str, destination: str, payload: Any,
+                 payload_bytes: int, hops: int = 0, metadata: Any = None):
+        self.source = source
+        self.destination = destination
+        self.payload = payload
+        self.payload_bytes = payload_bytes
+        self.hops = hops
+        self.metadata = metadata  # lazily-populated annotation slot
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Datagram(source={self.source!r}, destination={self.destination!r}, "
+                f"payload_bytes={self.payload_bytes}, hops={self.hops})")

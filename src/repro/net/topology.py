@@ -71,8 +71,21 @@ class Network:
         self.segments: Dict[str, Segment] = {}
         self.bridges: List[Bridge] = []
         self.interfaces: Dict[str, NetworkInterface] = {}
-        self._route_cache: Dict[Tuple[str, str], List[Segment]] = {}
+        # Route cache: (src segment, dst segment) -> (segments, hops) where
+        # hops pairs each segment with the bridge crossed to reach it
+        # (``None`` for the first).  ``send`` walks hops with zero scans.
+        self._route_cache: Dict[Tuple[str, str], Tuple[List[Segment], List[Tuple[Segment, Optional[Bridge]]]]] = {}
+        # Segment name -> [(neighbor segment, joining bridge)], kept in
+        # bridge insertion order so BFS tie-breaks exactly as the old
+        # scan-all-bridges loop did.
+        self._adjacency: Dict[str, List[Tuple[Segment, Bridge]]] = {}
         self.partitioned: set = set()  # names of segments currently cut off
+        self.route_hits = 0
+        self.route_misses = 0
+        sim.metrics.counter(
+            "net.route_cache",
+            lambda: {"hits": self.route_hits, "misses": self.route_misses},
+        )
 
     # -- construction -------------------------------------------------------
 
@@ -87,8 +100,11 @@ class Network:
 
     def add_bridge(self, name: str, segment_a: str, segment_b: str, forwarding_delay: float = 0.002) -> Bridge:
         """Join two segments with a store-and-forward bridge."""
-        bridge = Bridge(name, self.segments[segment_a], self.segments[segment_b], forwarding_delay)
+        side_a, side_b = self.segments[segment_a], self.segments[segment_b]
+        bridge = Bridge(name, side_a, side_b, forwarding_delay)
         self.bridges.append(bridge)
+        self._adjacency.setdefault(side_a.name, []).append((side_b, bridge))
+        self._adjacency.setdefault(side_b.name, []).append((side_a, bridge))
         self._route_cache.clear()
         return bridge
 
@@ -119,48 +135,64 @@ class Network:
 
         Raises :class:`SimulationError` when no path exists (partition).
         """
+        return self._hops(src_node, dst_node)[0]
+
+    def _hops(self, src_node: str, dst_node: str) -> Tuple[List[Segment], List[Tuple[Segment, Optional[Bridge]]]]:
+        """Cached ``(segments, (segment, inbound bridge) pairs)`` for a route."""
         src_seg = self.interfaces[src_node].segment
         dst_seg = self.interfaces[dst_node].segment
         key = (src_seg.name, dst_seg.name)
-        if key in self._route_cache:
-            return self._route_cache[key]
-        path = self._shortest_path(src_seg, dst_seg)
-        if path is None:
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            self.route_hits += 1
+            return cached
+        self.route_misses += 1
+        hops = self._shortest_path(src_seg, dst_seg)
+        if hops is None:
             raise SimulationError(
                 f"no route from {src_node} ({src_seg.name}) to {dst_node} ({dst_seg.name})"
             )
-        self._route_cache[key] = path
-        return path
+        entry = ([segment for segment, _bridge in hops], hops)
+        self._route_cache[key] = entry
+        return entry
 
-    def _shortest_path(self, src: Segment, dst: Segment) -> Optional[List[Segment]]:
+    def _shortest_path(self, src: Segment, dst: Segment) -> Optional[List[Tuple[Segment, Optional[Bridge]]]]:
         if src is dst:
             # A partition is a bridge failure: traffic that never leaves the
             # segment still flows (the cut-off cluster keeps its own server).
-            return [src]
-        if src.name in self.partitioned or dst.name in self.partitioned:
+            return [(src, None)]
+        partitioned = self.partitioned
+        if src.name in partitioned or dst.name in partitioned:
             return None
-        frontier = deque([[src]])
+        adjacency = self._adjacency
+        # Parent-pointer BFS over the precomputed adjacency map; visits
+        # neighbors in bridge insertion order, matching the old full scan.
+        prev: Dict[str, Tuple[Optional[Segment], Bridge]] = {}
+        frontier = deque([src])
         visited = {src.name}
         while frontier:
-            path = frontier.popleft()
-            tail = path[-1]
-            for bridge in self.bridges:
-                if not bridge.connects(tail):
+            tail = frontier.popleft()
+            for nxt, bridge in adjacency.get(tail.name, ()):
+                if nxt.name in visited or nxt.name in partitioned:
                     continue
-                nxt = bridge.other_side(tail)
-                if nxt.name in visited or nxt.name in self.partitioned:
-                    continue
-                new_path = path + [nxt]
+                prev[nxt.name] = (tail, bridge)
                 if nxt is dst:
-                    return new_path
+                    hops: List[Tuple[Segment, Optional[Bridge]]] = [(nxt, bridge)]
+                    while tail is not src:
+                        parent, via = prev[tail.name]
+                        hops.append((tail, via))
+                        tail = parent
+                    hops.append((src, None))
+                    hops.reverse()
+                    return hops
                 visited.add(nxt.name)
-                frontier.append(new_path)
+                frontier.append(nxt)
         return None
 
     def bridge_between(self, seg_a: Segment, seg_b: Segment) -> Bridge:
         """The bridge joining two adjacent segments."""
-        for bridge in self.bridges:
-            if bridge.connects(seg_a) and bridge.connects(seg_b):
+        for nxt, bridge in self._adjacency.get(seg_a.name, ()):
+            if nxt is seg_b:
                 return bridge
         raise SimulationError(f"no bridge between {seg_a.name} and {seg_b.name}")
 
@@ -181,16 +213,15 @@ class Network:
         ``deliver=False`` models a datagram lost in flight: it occupies the
         wire but never reaches the destination inbox.
         """
-        path = self.route(datagram.source, datagram.destination)
-        previous = None
-        for segment in path:
-            if previous is not None:
-                bridge = self.bridge_between(previous, segment)
+        _segments, hops = self._hops(datagram.source, datagram.destination)
+        payload_bytes = datagram.payload_bytes
+        timeout = self.sim.timeout
+        for segment, bridge in hops:
+            if bridge is not None:
                 bridge.transfers_forwarded += 1
-                yield self.sim.timeout(bridge.forwarding_delay)
-            yield from segment.transmit(datagram.payload_bytes, kind=kind)
-            previous = segment
-        datagram.hops = len(path)
+                yield timeout(bridge.forwarding_delay)
+            yield from segment.transmit(payload_bytes, kind=kind)
+        datagram.hops = len(hops)
         if deliver:
             self.interfaces[datagram.destination].inbox.put(datagram)
 

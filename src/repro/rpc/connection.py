@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.crypto.cipher import SessionCipher, open_sealed, unseal
+from repro.crypto.cipher import SessionCipher, open_sealed
 from repro.errors import NotAuthenticated
 from repro.rpc.costs import EncryptionMode
 
@@ -53,21 +53,32 @@ class Connection:
         }
         self.established = True
 
-    def encrypt(self, sender_name: str, plaintext: bytes) -> bytes:
-        """Seal bytes for the wire (identity when encryption is off)."""
+    def encrypt(self, sender_name: str, plaintext: bytes, fast: bool = False) -> bytes:
+        """Seal bytes for the wire (identity when encryption is off).
+
+        With ``fast`` the result is a plaintext-remembering
+        :class:`~repro.crypto.cipher.SealedPayload` (wire-identical bytes),
+        so an in-process receiver's :meth:`decrypt` verifies the tag without
+        re-deriving the keystream.
+        """
         if self.encryption == EncryptionMode.NONE:
             return plaintext
         if not self.established:
             raise NotAuthenticated(f"connection {self.connection_id} not established")
-        return self._ciphers[sender_name].encrypt(plaintext)
+        cipher = self._ciphers[sender_name]
+        if fast:
+            return cipher.seal_payload(plaintext)
+        return cipher.encrypt(plaintext)
 
     def decrypt(self, sealed: bytes) -> bytes:
-        """Open bytes from the wire (identity when encryption is off)."""
+        """Open bytes from the wire (identity when encryption is off).
+
+        Fast-path aware: always verifies the authentication tag."""
         if self.encryption == EncryptionMode.NONE:
             return sealed
         if not self.established:
             raise NotAuthenticated(f"connection {self.connection_id} not established")
-        return unseal(self.session_key, sealed)
+        return open_sealed(self.session_key, sealed)
 
     def encrypt_payload(self, sender_name: str, payload: bytes, fast: bool = False) -> bytes:
         """Seal a whole-file payload for the wire.

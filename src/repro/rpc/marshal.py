@@ -54,13 +54,53 @@ def dumps(value: Any) -> bytes:
 
 
 def _encode(value: Any, out: bytearray) -> None:
-    if value is None:
+    # Exact-type dispatch ordered by hot-path frequency (RPC records are
+    # dicts of strings and ints); subclasses fall through to the original
+    # isinstance chain in _encode_slow.  ``type(True) is bool``, so the
+    # ``is int`` arm cannot mis-tag booleans.
+    kind = type(value)
+    if kind is str:
+        raw = value.encode("utf-8")
+        out += _TAG_STR
+        out += _PACK_I(len(raw))
+        out += raw
+    elif kind is int:
+        out += _TAG_INT
+        out += _PACK_Q(value)
+    elif kind is dict:
+        out += _TAG_DICT
+        out += _PACK_I(len(value))
+        for key, item in value.items():
+            if type(key) is not str and not isinstance(key, str):
+                raise MarshalError(f"dict keys must be str, got {type(key).__name__}")
+            raw = key.encode("utf-8")
+            out += _TAG_STR
+            out += _PACK_I(len(raw))
+            out += raw
+            _encode(item, out)
+    elif kind is bool:
+        out += _TAG_TRUE if value else _TAG_FALSE
+    elif value is None:
         out += _TAG_NONE
-    elif value is True:
-        out += _TAG_TRUE
-    elif value is False:
-        out += _TAG_FALSE
-    elif isinstance(value, int):
+    elif kind is float:
+        out += _TAG_FLOAT
+        out += _PACK_D(value)
+    elif kind is bytes or kind is bytearray:
+        out += _TAG_BYTES
+        out += _PACK_I(len(value))
+        out += value
+    elif kind is list or kind is tuple:
+        out += _TAG_LIST
+        out += _PACK_I(len(value))
+        for item in value:
+            _encode(item, out)
+    else:
+        _encode_slow(value, out)
+
+
+def _encode_slow(value: Any, out: bytearray) -> None:
+    """Subclass-tolerant fallback (the original isinstance chain)."""
+    if isinstance(value, int):
         out += _TAG_INT
         out += _PACK_Q(value)
     elif isinstance(value, float):

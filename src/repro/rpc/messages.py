@@ -15,7 +15,6 @@ across the wire.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Dict
 
 from repro import errors
@@ -37,22 +36,37 @@ class Kind:
     BUSY = "busy"  # server is still executing this (conn, seq): keep waiting
 
 
-@dataclass
 class Envelope:
-    """One RPC-layer message."""
+    """One RPC-layer message.
 
-    kind: str
-    connection_id: str
-    seq: int = 0
-    body: bytes = b""
-    payload: bytes = b""
-    # Cleartext fields used before a session key exists (handshake only).
-    username: str = ""
-    note: str = ""
-    # Causal-trace context (trace_id, span_id) propagated client -> server.
-    # Pure observability metadata: excluded from wire_bytes so the simulated
-    # byte counts — and therefore virtual time — are identical traced or not.
-    trace: Any = None
+    A ``__slots__`` class rather than a dataclass: two envelopes are
+    allocated per RPC, making the per-instance ``__dict__`` one of the
+    hottest allocations in a campus run.
+    """
+
+    __slots__ = ("kind", "connection_id", "seq", "body", "payload",
+                 "username", "note", "trace", "decoded")
+
+    def __init__(self, kind: str, connection_id: str, seq: int = 0,
+                 body: bytes = b"", payload: bytes = b"", username: str = "",
+                 note: str = "", trace: Any = None, decoded: Any = None):
+        self.kind = kind
+        self.connection_id = connection_id
+        self.seq = seq
+        self.body = body
+        self.payload = payload
+        # Cleartext fields used before a session key exists (handshake only).
+        self.username = username
+        self.note = note
+        # Causal-trace context (trace_id, span_id) propagated client -> server.
+        # Pure observability metadata: excluded from wire_bytes so the simulated
+        # byte counts — and therefore virtual time — are identical traced or not.
+        self.trace = trace
+        # In-process fast path: the structured body this envelope's ``body``
+        # marshals.  The sealed wire bytes (and their costs) are unchanged; a
+        # receiver in the same process may skip the unmarshal round-trip.
+        # Like ``trace``, excluded from wire_bytes.
+        self.decoded = decoded
 
     def wire_bytes(self, envelope_overhead: int) -> int:
         """Size on the wire: headers + body + payload."""
@@ -63,6 +77,10 @@ class Envelope:
             + len(self.username)
             + len(self.note)
         )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Envelope(kind={self.kind!r}, connection_id={self.connection_id!r}, "
+                f"seq={self.seq}, body={len(self.body)}B, payload={len(self.payload)}B)")
 
 
 # -- error transport ----------------------------------------------------------

@@ -44,7 +44,6 @@ from repro.rpc.messages import (
     Envelope,
     Kind,
     decode_body,
-    encode_body,
     encode_error,
     maybe_raise,
 )
@@ -234,8 +233,10 @@ class RpcNode:
         with (tracer.span(f"rpc.call:{procedure}", component="rpc",
                           host=my_name, peer=peer)
               if traced else _NULL_SPAN):
-            body = encode_body(procedure, args or {})
-            wire_body = conn.encrypt(my_name, body)
+            fast = self.payload_fast_path
+            record = {"proc": procedure, "args": args if args is not None else {}}
+            body = marshal.dumps(record)
+            wire_body = conn.encrypt(my_name, body, fast=fast)
             wire_payload = self._protect_payload(conn, my_name, payload)
             crypto_cpu = self.costs.encrypt_seconds(
                 conn.encryption, len(body) + len(payload)
@@ -243,7 +244,10 @@ class RpcNode:
             yield from self.host.compute(self.costs.client_stub_cpu + crypto_cpu)
 
             envelope = Envelope(
-                Kind.CALL, conn.connection_id, seq, wire_body, wire_payload
+                Kind.CALL, conn.connection_id, seq, wire_body, wire_payload,
+                # In-process shortcut past the unmarshal (wire bytes and
+                # costs unchanged); disabled with payload_fast_path.
+                decoded=record if fast else None,
             )
             if traced:
                 envelope.trace = tracer.context()
@@ -263,7 +267,12 @@ class RpcNode:
                 conn.encryption, len(reply.body) + len(reply.payload)
             )
             yield from self.host.compute(crypto_cpu)
-            result = maybe_raise(decode_body(conn.decrypt(reply.body)))
+            decoded = reply.decoded
+            if decoded is not None:
+                conn.decrypt(reply.body)  # tag check against the wire bytes
+                result = maybe_raise(decoded)
+            else:
+                result = maybe_raise(decode_body(conn.decrypt(reply.body)))
             reply_payload = self._unprotect_payload(conn, reply.payload)
         bag = self._latency_bags.get(procedure)
         if bag is None:
@@ -306,8 +315,13 @@ class RpcNode:
             )
             datagram = Datagram(self.host.name, destination, envelope, wire)
             yield from self.host.network.send(datagram, kind="rpc", deliver=not lost)
-            yield self.sim.any_of([event, self.sim.timeout(per_attempt)])
+            attempt_timeout = self.sim.timeout(per_attempt)
+            yield self.sim.any_of([event, attempt_timeout])
             if event.triggered:
+                # The reply won the race: the pending retransmit timer is
+                # dead weight in the heap — cancel it so the kernel discards
+                # it on pop instead of walking its stale callbacks.
+                attempt_timeout.cancel()
                 reply = event.value
                 if reply.kind != Kind.BUSY:
                     return reply
@@ -452,10 +466,16 @@ class RpcNode:
                 self.sim.process(self._send_reply(cached, source))
             return  # retransmission: busy-ack or replay the finished reply
         cache[envelope.seq] = _IN_PROGRESS
-        if len(cache) > _REPLY_CACHE_LIMIT:
-            for old_seq in sorted(cache)[: len(cache) - _REPLY_CACHE_LIMIT]:
+        # Evict oldest finished replies first.  Sequence numbers are admitted
+        # in increasing order per connection, so dict insertion order is seq
+        # order and a front-of-dict scan replaces the old per-call sort.
+        while len(cache) > _REPLY_CACHE_LIMIT:
+            for old_seq in cache:
                 if cache[old_seq] is not _IN_PROGRESS:
                     del cache[old_seq]
+                    break
+            else:
+                break  # every entry still in progress: over-limit but live
         if self.server_mode == "process":
             queue = self._worker_queues.get(envelope.connection_id)
             if queue is None:  # connection raced its worker teardown
@@ -486,7 +506,11 @@ class RpcNode:
             )
             yield from self.host.compute(dispatch_cpu + crypto_cpu)
 
-            decoded = decode_body(conn.decrypt(envelope.body))
+            decoded = envelope.decoded
+            if decoded is not None:
+                conn.decrypt(envelope.body)  # tag check against the wire bytes
+            else:
+                decoded = decode_body(conn.decrypt(envelope.body))
             procedure = decoded.get("proc", "?")
             span.rename(f"rpc.serve:{procedure}")
             self.calls_received.add(procedure)
@@ -506,13 +530,15 @@ class RpcNode:
                     record = encode_error(exc)
                     reply_payload = b""
 
+            fast = self.payload_fast_path
             body = marshal.dumps(record)
-            wire_body = conn.encrypt(self.host.name, body)
+            wire_body = conn.encrypt(self.host.name, body, fast=fast)
             wire_payload = self._protect_payload(conn, self.host.name, reply_payload)
             crypto_cpu = self.costs.encrypt_seconds(conn.encryption, len(body) + len(reply_payload))
             yield from self.host.compute(crypto_cpu)
 
-            reply = Envelope(Kind.REPLY, envelope.connection_id, envelope.seq, wire_body, wire_payload)
+            reply = Envelope(Kind.REPLY, envelope.connection_id, envelope.seq, wire_body, wire_payload,
+                             decoded=record if fast else None)
         self._reply_cache[envelope.connection_id][envelope.seq] = reply
         yield from self._send_reply(reply, source)
 

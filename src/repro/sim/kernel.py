@@ -53,7 +53,8 @@ class Event:
     callbacks (typically resuming waiting processes) at the current instant.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_exc", "_triggered", "_defused")
+    __slots__ = ("sim", "callbacks", "_value", "_exc", "_triggered", "_defused",
+                 "_cancelled")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -62,6 +63,7 @@ class Event:
         self._exc: Optional[BaseException] = None
         self._triggered = False
         self._defused = False
+        self._cancelled = False
 
     # -- state ------------------------------------------------------------
 
@@ -118,6 +120,17 @@ class Event:
         self._defused = True
         return self
 
+    def cancel(self) -> "Event":
+        """Discard a scheduled firing: the kernel skips this event on pop.
+
+        Only valid for events whose outcome nobody still observes (e.g. the
+        losing branch of an ``any_of`` race).  The heap entry stays where it
+        is — sequence numbers, and therefore same-instant ordering of every
+        other event, are untouched — but its callbacks never run.
+        """
+        self._cancelled = True
+        return self
+
     # -- internal ---------------------------------------------------------
 
     def _process(self) -> None:
@@ -158,6 +171,7 @@ class Timeout(Event):
         self._exc = None
         self._triggered = True
         self._defused = False
+        self._cancelled = False
         self.delay = delay
         sim._sequence += 1
         heappush(sim._heap, (sim.now + delay, sim._sequence, self))
@@ -385,7 +399,8 @@ class Simulator:
         """Process the single next event; raises orphaned process failures."""
         when, _seq, event = heappop(self._heap)
         self.now = when
-        event._process()
+        if not event._cancelled:
+            event._process()
         if self._orphan_failures:
             self._raise_orphans()
 
@@ -397,6 +412,8 @@ class Simulator:
             while heap:
                 when, _seq, event = heappop(heap)
                 self.now = when
+                if event._cancelled:
+                    continue
                 event._process()
                 if orphans:
                     self._raise_orphans()
@@ -407,6 +424,8 @@ class Simulator:
                 return
             when, _seq, event = heappop(heap)
             self.now = when
+            if event._cancelled:
+                continue
             event._process()
             if orphans:
                 self._raise_orphans()
@@ -432,6 +451,8 @@ class Simulator:
                 raise SimulationError(f"simulation exceeded time limit {limit}")
             when, _seq, popped = heappop(heap)
             self.now = when
+            if popped._cancelled:
+                continue
             popped._process()
             if orphans:
                 self._raise_orphans()

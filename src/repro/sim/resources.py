@@ -38,6 +38,7 @@ class Request(Event):
         self._exc = None
         self._triggered = False
         self._defused = False
+        self._cancelled = False
         self.resource = resource
 
 
@@ -66,13 +67,16 @@ class Resource:
         self.name = name
         self._queue: Deque[Request] = deque()
         self._users: List[Request] = []
+        # Claims granted through the handle-free fast path (try_claim);
+        # counted, not stored — there is no Request object to remember.
+        self._anon = 0
         self.utilization = UtilizationTracker(sim, capacity=capacity, name=name)
         self.total_requests = 0
 
     @property
     def in_use(self) -> int:
         """Number of currently granted claims."""
-        return len(self._users)
+        return len(self._users) + self._anon
 
     @property
     def queue_length(self) -> int:
@@ -89,16 +93,39 @@ class Resource:
         """
         self.total_requests += 1
         request = Request(self)
-        if len(self._users) < self.capacity:
+        if len(self._users) + self._anon < self.capacity:
             # Fast path: mark the event triggered-and-processed in place.
             request._triggered = True
             request._value = self
             request.callbacks = None
             self._users.append(request)
-            self.utilization.record(len(self._users))
+            self.utilization.record(len(self._users) + self._anon)
         else:
             self._queue.append(request)
         return request
+
+    def try_claim(self) -> bool:
+        """Handle-free synchronous claim; True if capacity was free.
+
+        The hottest acquire-hold-release paths (CPU compute, medium bursts)
+        never inspect their claim, so when the resource is uncontended the
+        Request event object is pure allocation churn.  A successful
+        try_claim MUST be paired with :meth:`release_anon`.
+        """
+        users = len(self._users) + self._anon
+        if users >= self.capacity:
+            return False
+        self.total_requests += 1
+        self._anon += 1
+        self.utilization.record(users + 1)
+        return True
+
+    def release_anon(self) -> None:
+        """Return a :meth:`try_claim` claim and wake the next waiter."""
+        self._anon -= 1
+        self.utilization.record(len(self._users) + self._anon)
+        while self._queue and len(self._users) + self._anon < self.capacity:
+            self._grant(self._queue.popleft())
 
     def release(self, request: Request) -> None:
         """Return a previously granted claim and wake the next waiter."""
@@ -111,14 +138,23 @@ class Resource:
                 return
             except ValueError:
                 raise SimulationError("release of a request this resource never granted")
-        self.utilization.record(len(self._users))
-        while self._queue and len(self._users) < self.capacity:
+        self.utilization.record(len(self._users) + self._anon)
+        while self._queue and len(self._users) + self._anon < self.capacity:
             self._grant(self._queue.popleft())
 
     def use(self, duration: float) -> Generator[Event, Any, None]:
         """Acquire, hold for ``duration`` seconds of virtual time, release."""
+        if self.try_claim():
+            try:
+                yield self.sim.timeout(duration)
+            finally:
+                self.release_anon()
+            return
         request = self.request()
-        yield request
+        if request.callbacks is not None:
+            # Contended: wait for the grant (synchronous grants are already
+            # processed, so the yield would be an immediate no-op resume).
+            yield request
         try:
             yield self.sim.timeout(duration)
         finally:
@@ -126,7 +162,7 @@ class Resource:
 
     def _grant(self, request: Request) -> None:
         self._users.append(request)
-        self.utilization.record(len(self._users))
+        self.utilization.record(len(self._users) + self._anon)
         request.succeed(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

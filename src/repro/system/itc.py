@@ -16,7 +16,8 @@ from a :class:`~repro.system.config.SystemConfig`, and offers:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List, Optional, Tuple
+from contextlib import contextmanager
+from typing import Any, Dict, Generator, Iterator, List, Optional, Tuple
 
 from repro.crypto.keys import derive_user_key
 from repro.errors import InvalidArgument
@@ -59,6 +60,8 @@ class ITCSystem:
         self._ws_by_name = {ws.name: ws for ws in self.workstations}
         self._server_by_name = {s.host.name: s for s in self.servers}
         self._volume_counter = 0
+        self._batch_depth = 0
+        self._sync_pending = False
 
         # Master copies of the replicated databases; setup-time mutations
         # apply here and are pushed to every server replica.
@@ -98,8 +101,31 @@ class ITCSystem:
     # setup-time administration
     # ==================================================================
 
+    @contextmanager
+    def batch_setup(self) -> Iterator["ITCSystem"]:
+        """Defer replica synchronisation until the end of a setup block.
+
+        Every individual ``add_user``/``add_group``/``create_volume`` call
+        pushes full database snapshots to every server, which is quadratic
+        when provisioning a whole campus.  Inside this block the pushes are
+        coalesced: the masters are mutated immediately (so later setup calls
+        observe earlier ones), and a single ``sync_databases`` runs on exit.
+        Blocks nest; only the outermost exit synchronises.
+        """
+        self._batch_depth += 1
+        try:
+            yield self
+        finally:
+            self._batch_depth -= 1
+            if self._batch_depth == 0 and self._sync_pending:
+                self._sync_pending = False
+                self.sync_databases()
+
     def sync_databases(self) -> None:
         """Copy the master location/protection databases to every replica."""
+        if self._batch_depth > 0:
+            self._sync_pending = True
+            return
         location = self._location_master.snapshot()
         protection = self._protection_master.snapshot()
         for server in self.servers:

@@ -55,10 +55,21 @@ class LocationEntry:
 class LocationDatabase:
     """One replica of the campus-wide location map."""
 
+    # Bound on the resolve memo (distinct paths looked up between mapping
+    # changes); cleared wholesale rather than LRU-tracked.
+    _RESOLVE_CACHE_LIMIT = 8192
+
     def __init__(self):
         self._by_path: Dict[str, LocationEntry] = {}
         self._by_volume: Dict[str, LocationEntry] = {}
         self.version = 0
+        # resolve() memo: raw path -> (entry, rest).  The cached tuples hold
+        # *live* entries, so in-place mutations (reassign, set_ro_servers)
+        # show through; only mapping changes (add/remove/load_snapshot)
+        # invalidate.
+        self._resolve_cache: Dict[str, Tuple[LocationEntry, str]] = {}
+        self.resolve_hits = 0
+        self.resolve_misses = 0
 
     def __len__(self) -> int:
         return len(self._by_path)
@@ -79,6 +90,7 @@ class LocationDatabase:
         entry = LocationEntry(mount_path, volume_id, custodian, list(ro_servers or []))
         self._by_path[mount_path] = entry
         self._by_volume[volume_id] = entry
+        self._resolve_cache.clear()
         self.version += 1
         return entry
 
@@ -88,6 +100,7 @@ class LocationDatabase:
         if entry is None:
             raise FileNotFound(mount_path)
         del self._by_volume[entry.volume_id]
+        self._resolve_cache.clear()
         self.version += 1
 
     def resolve(self, vice_path: str) -> Tuple[LocationEntry, str]:
@@ -96,13 +109,22 @@ class LocationDatabase:
         ``vice_path`` is a path in the shared name space (no ``/vice``
         prefix — that is Virtue's mount point, invisible to Vice).
         """
+        cached = self._resolve_cache.get(vice_path)
+        if cached is not None:
+            self.resolve_hits += 1
+            return cached
+        self.resolve_misses += 1
         path = pathutil.normalize(vice_path)
         candidate = path
         while True:
             entry = self._by_path.get(candidate)
             if entry is not None:
                 rest = path[len(candidate):] if candidate != "/" else path
-                return entry, rest or "/"
+                result = (entry, rest or "/")
+                if len(self._resolve_cache) >= self._RESOLVE_CACHE_LIMIT:
+                    self._resolve_cache.clear()
+                self._resolve_cache[vice_path] = result
+                return result
             if candidate == "/":
                 raise FileNotFound(f"no custodian for {vice_path!r}")
             candidate = pathutil.dirname(candidate)
@@ -145,6 +167,7 @@ class LocationDatabase:
         """Replace local state with a replica snapshot."""
         self._by_path.clear()
         self._by_volume.clear()
+        self._resolve_cache.clear()
         for record in snapshot["entries"]:
             entry = LocationEntry.from_dict(record)
             self._by_path[entry.mount_path] = entry

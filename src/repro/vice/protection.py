@@ -53,33 +53,52 @@ class AccessList:
     all files within a directory have the same protection status").
     """
 
+    # Bound so a long-lived ACL checked against many distinct subdomains
+    # cannot grow without limit; in practice a handful of CPS values recur.
+    _RIGHTS_CACHE_LIMIT = 1024
+
     def __init__(self):
         self.positive: Dict[str, FrozenSet[str]] = {}
         self.negative: Dict[str, FrozenSet[str]] = {}
+        # effective-rights memo keyed by the caller's CPS frozenset; cleared
+        # on every entry mutation.  frozenset hashes are cached by CPython,
+        # so a hit costs one dict probe.
+        self._rights_cache: Dict[FrozenSet[str], FrozenSet[str]] = {}
 
     def grant(self, principal: str, rights: str) -> None:
         """Add (or extend) a positive entry."""
         parsed = Rights.parse(rights)
         self.positive[principal] = self.positive.get(principal, frozenset()) | parsed
+        self._rights_cache.clear()
 
     def deny(self, principal: str, rights: str) -> None:
         """Add (or extend) a negative entry — the rapid-revocation mechanism."""
         parsed = Rights.parse(rights)
         self.negative[principal] = self.negative.get(principal, frozenset()) | parsed
+        self._rights_cache.clear()
 
     def drop(self, principal: str) -> None:
         """Remove both entries for a principal."""
         self.positive.pop(principal, None)
         self.negative.pop(principal, None)
+        self._rights_cache.clear()
 
     def effective_rights(self, cps: Iterable[str]) -> FrozenSet[str]:
         """Rights for a caller whose CPS is ``cps`` (positives minus negatives)."""
+        key = cps if isinstance(cps, frozenset) else frozenset(cps)
+        cached = self._rights_cache.get(key)
+        if cached is not None:
+            return cached
         granted: Set[str] = set()
         revoked: Set[str] = set()
-        for principal in cps:
+        for principal in key:
             granted |= self.positive.get(principal, frozenset())
             revoked |= self.negative.get(principal, frozenset())
-        return frozenset(granted - revoked)
+        result = frozenset(granted - revoked)
+        if len(self._rights_cache) >= self._RIGHTS_CACHE_LIMIT:
+            self._rights_cache.clear()
+        self._rights_cache[key] = result
+        return result
 
     def copy(self) -> "AccessList":
         """An independent copy (used when cloning volumes)."""
@@ -124,6 +143,27 @@ class ProtectionDatabase:
         self.groups: Dict[str, Set[str]] = {self.SYSTEM_ANYUSER: set()}
         self.user_keys: Dict[str, bytes] = {}
         self.version = 0
+        # CPS caching (the paper computes the CPS once, at authentication
+        # time).  ``_cache_version`` pins the caches to a database version;
+        # any mutation bumps ``version``, so the next lookup rebuilds the
+        # member -> containing-groups adjacency index and starts fresh.
+        self._parents: Dict[str, List[str]] = {}
+        self._cps_cache: Dict[str, FrozenSet[str]] = {}
+        self._cache_version = -1
+        self.cps_hits = 0
+        self.cps_misses = 0
+
+    # -- CPS cache maintenance ------------------------------------------------
+
+    def _reindex(self) -> None:
+        """Rebuild the member -> groups adjacency index and drop stale CPS."""
+        parents: Dict[str, List[str]] = {}
+        for group, members in self.groups.items():
+            for member in members:
+                parents.setdefault(member, []).append(group)
+        self._parents = parents
+        self._cps_cache.clear()
+        self._cache_version = self.version
 
     # -- principals ---------------------------------------------------------
 
@@ -195,15 +235,24 @@ class ProtectionDatabase:
         """
         if username not in self.users:
             raise UnknownPrincipal(username)
+        if self._cache_version != self.version:
+            self._reindex()
+        cached = self._cps_cache.get(username)
+        if cached is not None:
+            self.cps_hits += 1
+            return cached
+        self.cps_misses += 1
+        parents = self._parents
         reachable: Set[str] = {username, self.SYSTEM_ANYUSER}
         frontier: List[str] = [username]
         while frontier:
-            current = frontier.pop()
-            for group, members in self.groups.items():
-                if current in members and group not in reachable:
+            for group in parents.get(frontier.pop(), ()):
+                if group not in reachable:
                     reachable.add(group)
                     frontier.append(group)
-        return frozenset(reachable)
+        result = frozenset(reachable)
+        self._cps_cache[username] = result
+        return result
 
     def rights_on(self, acl: AccessList, username: str) -> FrozenSet[str]:
         """Effective rights of ``username`` on an object guarded by ``acl``."""
@@ -226,6 +275,11 @@ class ProtectionDatabase:
         self.groups = {g: set(m) for g, m in snapshot["groups"].items()}
         self.user_keys = dict(snapshot["user_keys"])
         self.version = snapshot["version"]
+        # The snapshot may carry the same version number as the state it
+        # replaces (replica catch-up), so invalidate explicitly.
+        self._parents = {}
+        self._cps_cache.clear()
+        self._cache_version = -1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<ProtectionDatabase users={len(self.users)} groups={len(self.groups)} v{self.version}>"

@@ -134,6 +134,11 @@ class ViceServer:
             volume.file_count for volume in self.volumes.values()))
         metrics.gauge(f"{prefix}.used_bytes", lambda: sum(
             volume.used_bytes for volume in self.volumes.values()))
+        # Fast-path cache effectiveness (the campus-scale hot paths).
+        metrics.counter(f"{prefix}.protection.cps_cache", lambda: {
+            "hits": self.protection.cps_hits, "misses": self.protection.cps_misses})
+        metrics.counter(f"{prefix}.location.resolve_cache", lambda: {
+            "hits": self.location.resolve_hits, "misses": self.location.resolve_misses})
 
     # ------------------------------------------------------------------
     # authentication

@@ -190,57 +190,58 @@ def provision_campus(
     """Create one user per workstation, with home volumes in their cluster,
     a shared project volume and a system-binaries volume; returns the users
     ready to :meth:`SyntheticUser.run`."""
-    rng = WorkloadRandom(seed)
-    config = campus.config
+    with campus.batch_setup():
+        rng = WorkloadRandom(seed)
+        config = campus.config
 
-    project = campus.create_volume("/proj", custodian=0, volume_id="proj")
-    project_tree = {
-        f"/files/doc_{i:03d}": USER_DOCUMENT.content(rng.fork(1000 + i), b"proj")
-        for i in range(shared_files)
-    }
-    campus.populate(project, project_tree)
+        project = campus.create_volume("/proj", custodian=0, volume_id="proj")
+        project_tree = {
+            f"/files/doc_{i:03d}": USER_DOCUMENT.content(rng.fork(1000 + i), b"proj")
+            for i in range(shared_files)
+        }
+        campus.populate(project, project_tree)
 
-    unix = campus.create_volume("/unix", custodian=0, volume_id="unix")
-    binary_tree = {
-        f"/bin/prog_{i:03d}": SYSTEM_BINARY.content(rng.fork(2000 + i), b"\x7fELF")
-        for i in range(binary_files)
-    }
-    campus.populate(unix, binary_tree)
+        unix = campus.create_volume("/unix", custodian=0, volume_id="unix")
+        binary_tree = {
+            f"/bin/prog_{i:03d}": SYSTEM_BINARY.content(rng.fork(2000 + i), b"\x7fELF")
+            for i in range(binary_files)
+        }
+        campus.populate(unix, binary_tree)
 
-    shared_paths = [f"/vice/proj/files/doc_{i:03d}" for i in range(shared_files)]
-    binary_paths = [f"/vice/unix/bin/prog_{i:03d}" for i in range(binary_files)]
+        shared_paths = [f"/vice/proj/files/doc_{i:03d}" for i in range(shared_files)]
+        binary_paths = [f"/vice/unix/bin/prog_{i:03d}" for i in range(binary_files)]
 
-    users: List[SyntheticUser] = []
-    for index, workstation in enumerate(campus.workstations):
-        username = f"user{index:03d}"
-        password = f"pw-{username}"
-        campus.add_user(username, password)
-        cluster = index // config.workstations_per_cluster
-        volume = campus.create_user_volume(username, cluster=cluster)
-        user_rng = rng.fork(index)
-        tree: Dict[str, bytes] = {}
-        for i in range(hot_files):
-            tree[f"/work/file_{i:03d}"] = USER_DOCUMENT.content(user_rng.fork(i), b"hot ")
-        for i in range(cold_files):
-            tree[f"/archive/old_{i:03d}"] = USER_DOCUMENT.content(
-                user_rng.fork(10_000 + i), b"cold"
+        users: List[SyntheticUser] = []
+        for index, workstation in enumerate(campus.workstations):
+            username = f"user{index:03d}"
+            password = f"pw-{username}"
+            campus.add_user(username, password)
+            cluster = index // config.workstations_per_cluster
+            volume = campus.create_user_volume(username, cluster=cluster)
+            user_rng = rng.fork(index)
+            tree: Dict[str, bytes] = {}
+            for i in range(hot_files):
+                tree[f"/work/file_{i:03d}"] = USER_DOCUMENT.content(user_rng.fork(i), b"hot ")
+            for i in range(cold_files):
+                tree[f"/archive/old_{i:03d}"] = USER_DOCUMENT.content(
+                    user_rng.fork(10_000 + i), b"cold"
+                )
+            campus.populate(volume, tree, owner=username)
+
+            session = campus.login(workstation, username, password)
+            home = f"/vice/usr/{username}"
+            users.append(
+                SyntheticUser(
+                    session,
+                    profile or UserProfile(),
+                    user_rng.fork(999),
+                    hot_files=[f"{home}/work/file_{i:03d}" for i in range(hot_files)],
+                    cold_files=[f"{home}/archive/old_{i:03d}" for i in range(cold_files)],
+                    shared_files=shared_paths,
+                    binary_files=binary_paths,
+                    browse_dirs=[f"{home}/work", "/vice/proj/files", "/vice/unix/bin"],
+                )
             )
-        campus.populate(volume, tree, owner=username)
-
-        session = campus.login(workstation, username, password)
-        home = f"/vice/usr/{username}"
-        users.append(
-            SyntheticUser(
-                session,
-                profile or UserProfile(),
-                user_rng.fork(999),
-                hot_files=[f"{home}/work/file_{i:03d}" for i in range(hot_files)],
-                cold_files=[f"{home}/archive/old_{i:03d}" for i in range(cold_files)],
-                shared_files=shared_paths,
-                binary_files=binary_paths,
-                browse_dirs=[f"{home}/work", "/vice/proj/files", "/vice/unix/bin"],
-            )
-        )
     return users
 
 

@@ -86,3 +86,24 @@ def test_trace_subcommand_writes_valid_trace(tmp_path, capsys):
     events = json.loads(out_path.read_text())["traceEvents"]
     assert any(e.get("ph") == "X" for e in events)
     assert len(jsonl_path.read_text().splitlines()) > 0
+
+
+def test_profile_andrew(capsys):
+    assert main(["profile", "--top", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "hot spots" in out
+    assert "net.route_cache" in out
+    assert "protection.cps_cache" in out
+
+
+def test_profile_campus(capsys):
+    assert main([
+        "profile", "campus",
+        "--clusters", "2", "--workstations", "2",
+        "--duration", "30", "--warmup", "10",
+        "--top", "5", "--sort", "tottime",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "profiling: campus day" in out
+    assert "simulation counters" in out
+    assert "location.resolve_cache" in out

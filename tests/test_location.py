@@ -108,3 +108,46 @@ class TestSnapshot:
     def test_entries_sorted(self, db):
         paths = [entry.mount_path for entry in db.entries()]
         assert paths == sorted(paths)
+
+
+class TestResolveMemo:
+    """resolve() is memoized; the memo must track every DB mutation."""
+
+    def test_resolve_memoized_and_counted(self, db):
+        first, rest = db.resolve("/usr/satya/thesis.tex")
+        again, rest_again = db.resolve("/usr/satya/thesis.tex")
+        assert (again, rest_again) == (first, rest)
+        assert db.resolve_misses == 1
+        assert db.resolve_hits == 1
+
+    def test_add_deeper_mount_invalidates(self, db):
+        entry, _ = db.resolve("/usr/satya/papers/sosp.tex")
+        assert entry.volume_id == "u-satya"
+        db.add("/usr/satya/papers", "papers", "server0")
+        entry, rest = db.resolve("/usr/satya/papers/sosp.tex")
+        assert entry.volume_id == "papers"
+        assert rest == "/sosp.tex"
+
+    def test_remove_invalidates(self, db):
+        entry, _ = db.resolve("/usr/satya/project/notes.txt")
+        assert entry.volume_id == "proj"
+        db.remove("/usr/satya/project")
+        entry, rest = db.resolve("/usr/satya/project/notes.txt")
+        assert entry.volume_id == "u-satya"
+        assert rest == "/project/notes.txt"
+
+    def test_load_snapshot_invalidates(self, db):
+        db.resolve("/usr/satya/thesis.tex")
+        other = LocationDatabase()
+        other.add("/", "root", "server9")
+        db.load_snapshot(other.snapshot())
+        entry, _ = db.resolve("/usr/satya/thesis.tex")
+        assert entry.volume_id == "root"
+        assert entry.custodian == "server9"
+
+    def test_reassign_shows_through_memo(self, db):
+        entry, _ = db.resolve("/usr/satya/thesis.tex")
+        assert entry.custodian == "server1"
+        db.reassign("u-satya", "server7")
+        entry, _ = db.resolve("/usr/satya/thesis.tex")
+        assert entry.custodian == "server7"

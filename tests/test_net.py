@@ -160,3 +160,62 @@ class TestTransfer:
 
         sim.run_until_complete(sim.process(sender()))
         assert net.segments["cluster0"].traffic.count("rpc") > 0
+
+
+class TestRouteCacheInvalidation:
+    """The memoized routes must never outlive a topology change."""
+
+    def test_route_cache_counts_hits_and_misses(self, sim):
+        net = two_cluster_net(sim)
+        net.route("a", "c")
+        net.route("a", "c")
+        assert net.route_misses == 1
+        assert net.route_hits == 1
+        counts = sim.metrics.value("net.route_cache")["counts"]
+        assert counts == {"hits": 1, "misses": 1}
+
+    def test_partition_drops_cached_route(self, sim):
+        net = two_cluster_net(sim)
+        assert net.hop_count("a", "c") == 3  # primes the cache
+        net.partition("cluster1")
+        with pytest.raises(SimulationError):
+            net.route("a", "c")
+        assert net.hop_count("a", "b") == 1  # intra-cluster unaffected
+
+    def test_heal_drops_cached_failure_and_restores_route(self, sim):
+        net = two_cluster_net(sim)
+        net.partition("cluster1")
+        with pytest.raises(SimulationError):
+            net.route("a", "c")
+        net.heal("cluster1")
+        route = net.route("a", "c")
+        assert [segment.name for segment in route] == ["cluster0", "backbone", "cluster1"]
+
+    def test_add_bridge_drops_cached_route(self, sim):
+        net = Network(sim)
+        for segment in ("s0", "s1", "s2"):
+            net.add_segment(segment)
+        net.add_bridge("br01", "s0", "s1")
+        net.add_bridge("br12", "s1", "s2")
+        net.attach("x", "s0")
+        net.attach("y", "s2")
+        assert net.hop_count("x", "y") == 3  # via s1, now cached
+        net.add_bridge("br02", "s0", "s2")   # a shortcut appears
+        assert net.hop_count("x", "y") == 2
+
+    def test_delivery_after_heal_uses_full_path(self, sim):
+        net = two_cluster_net(sim)
+        net.partition("cluster1")
+        net.heal("cluster1")
+
+        def sender():
+            yield from net.send(Datagram("a", "c", "payload", 100))
+
+        def receiver():
+            datagram = yield net.interfaces["c"].receive()
+            return datagram.hops
+
+        sim.process(sender())
+        hops = sim.run_until_complete(sim.process(receiver()))
+        assert hops == 3
+        assert sum(bridge.transfers_forwarded for bridge in net.bridges) == 2

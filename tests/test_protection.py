@@ -193,3 +193,81 @@ class TestSnapshot:
         assert replica.cps("satya") == db.cps("satya")
         assert replica.user_key("keyed") == b"\x01" * 32
         assert replica.version == db.version
+
+
+class TestCPSCache:
+    """The memoized CPS/rights must track every protection-DB mutation."""
+
+    def test_cps_memoized_and_counted(self, db):
+        first = db.cps("satya")
+        assert db.cps("satya") == first
+        assert db.cps_misses == 1
+        assert db.cps_hits == 1
+
+    def test_add_member_invalidates_cps(self, db):
+        db.add_group("project")
+        assert "project" not in db.cps("satya")
+        db.add_member("project", "satya")
+        assert "project" in db.cps("satya")
+
+    def test_remove_member_invalidates_cps(self, db):
+        db.add_group("project")
+        db.add_member("project", "satya")
+        assert "project" in db.cps("satya")
+        db.remove_member("project", "satya")
+        assert "project" not in db.cps("satya")
+
+    def test_remove_group_invalidates_cps(self, db):
+        db.add_group("outer")
+        db.add_group("inner")
+        db.add_member("inner", "satya")
+        db.add_member("outer", "inner")
+        assert db.cps("satya") >= {"inner", "outer"}
+        db.remove_group("outer")
+        cps = db.cps("satya")
+        assert "inner" in cps and "outer" not in cps
+
+    def test_load_snapshot_invalidates_cps(self, db):
+        # Same version number on both sides: a replica that pinned its
+        # cache to the version alone would serve the stale CPS.
+        other = ProtectionDatabase()
+        other.add_user("satya")
+        other.add_group("elsewhere")
+        other.add_member("elsewhere", "satya")
+        while db.version < other.version:
+            db.add_user(f"filler{db.version}")
+        assert db.version == other.version
+        assert "elsewhere" not in db.cps("satya")
+        db.load_snapshot(other.snapshot())
+        assert "elsewhere" in db.cps("satya")
+
+    def test_negative_rights_correct_after_membership_change(self, db):
+        db.add_group("suspended")
+        acl = AccessList()
+        acl.grant("system:anyuser", "rl")
+        acl.deny("suspended", "rl")
+        assert db.rights_on(acl, "mallory") == frozenset("rl")
+        db.add_member("suspended", "mallory")  # revocation takes effect
+        assert db.rights_on(acl, "mallory") == frozenset()
+        db.remove_member("suspended", "mallory")
+        assert db.rights_on(acl, "mallory") == frozenset("rl")
+
+    def test_rights_cache_invalidated_by_acl_mutation(self, db):
+        acl = AccessList()
+        acl.grant("satya", "rl")
+        assert db.rights_on(acl, "satya") == frozenset("rl")
+        acl.grant("satya", "w")
+        assert db.rights_on(acl, "satya") == frozenset("rlw")
+        acl.deny("satya", "r")
+        assert db.rights_on(acl, "satya") == frozenset("lw")
+        acl.drop("satya")
+        assert db.rights_on(acl, "satya") == frozenset()
+
+    def test_copied_acl_does_not_share_rights_cache(self, db):
+        acl = AccessList()
+        acl.grant("satya", "rl")
+        assert db.rights_on(acl, "satya") == frozenset("rl")
+        clone = acl.copy()
+        clone.deny("satya", "r")
+        assert db.rights_on(clone, "satya") == frozenset("l")
+        assert db.rights_on(acl, "satya") == frozenset("rl")

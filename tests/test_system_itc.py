@@ -124,3 +124,54 @@ class TestConfig:
     def test_invalid_mode_rejected(self):
         with pytest.raises(Exception):
             ITCSystem(SystemConfig(mode="quantum"))
+
+
+class TestBatchSetup:
+    def test_sync_deferred_until_block_exit(self, campus):
+        replica = campus.servers[1].protection
+        with campus.batch_setup():
+            campus.add_user("newcomer", "pw")
+            assert "newcomer" not in replica.users  # push coalesced
+        assert "newcomer" in replica.users          # one sync at exit
+
+    def test_later_setup_calls_see_earlier_ones(self, campus):
+        with campus.batch_setup():
+            campus.add_user("alice", "pw")
+            campus.add_group("team", members=["alice"])
+            volume = campus.create_user_volume("alice", cluster=1)
+        assert "alice" in campus.servers[0].protection.cps("alice")
+        assert "team" in campus.servers[1].protection.cps("alice")
+        entry, _ = campus.servers[0].location.resolve("/usr/alice/x")
+        assert entry.volume_id == volume.volume_id
+
+    def test_nested_blocks_sync_once_at_outermost_exit(self, campus):
+        replica = campus.servers[1].protection
+        with campus.batch_setup():
+            with campus.batch_setup():
+                campus.add_user("inner", "pw")
+            assert "inner" not in replica.users
+            campus.add_user("outer", "pw")
+        assert {"inner", "outer"} <= replica.users
+
+    def test_no_sync_without_mutation(self, campus):
+        before = campus.servers[1].protection.version
+        with campus.batch_setup():
+            pass
+        assert campus.servers[1].protection.version == before
+
+    def test_batched_state_matches_unbatched(self):
+        def provision(campus):
+            campus.add_user("u1", "pw")
+            campus.add_group("g", members=["u1"])
+            campus.create_user_volume("u1", cluster=1)
+
+        plain = ITCSystem(SystemConfig(clusters=2, workstations_per_cluster=2))
+        provision(plain)
+        batched = ITCSystem(SystemConfig(clusters=2, workstations_per_cluster=2))
+        with batched.batch_setup():
+            provision(batched)
+        for index in (0, 1):
+            assert (batched.servers[index].protection.snapshot()
+                    == plain.servers[index].protection.snapshot())
+            assert (batched.servers[index].location.snapshot()
+                    == plain.servers[index].location.snapshot())
