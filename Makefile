@@ -1,12 +1,12 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test bench-smoke campus-smoke trace-smoke bench results
+.PHONY: check test bench-smoke campus-smoke chaos-smoke trace-smoke bench results
 
 # Tier-1 gate: the full test suite plus the wall-clock time budgets.
 # A >2x wall-clock regression in the kernel, cipher or the end-to-end
 # campus path fails the corresponding smoke target.
-check: test bench-smoke campus-smoke
+check: test bench-smoke campus-smoke chaos-smoke
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -18,6 +18,14 @@ bench-smoke:
 campus-smoke:
 	mkdir -p benchmarks/results
 	$(PYTHON) benchmarks/bench_campus.py --smoke --json benchmarks/results/campus-smoke.json
+
+# Availability under fault plans, scaled shape under a hard wall-clock
+# budget; fails if the clean plan reports any failure or outage.
+chaos-smoke:
+	mkdir -p benchmarks/results
+	$(PYTHON) benchmarks/bench_availability.py --smoke \
+		--json benchmarks/results/chaos-smoke.json \
+		--timeline benchmarks/results/outage-timeline.json
 
 # Run a short traced Andrew benchmark and validate the trace covers
 # open -> RPC -> server -> disk for at least one fetch and one store.

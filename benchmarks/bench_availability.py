@@ -1,0 +1,239 @@
+"""Availability under injected faults: outage, MTTR and write survival.
+
+§4.4 claims are about behaviour under failure: a crashed custodian
+salvages and returns, workstations ride out Vice outages, the network is
+"not assumed to be reliable".  This bench measures them.  The same
+synthetic campus day runs under three (or more) fault plans —
+
+* ``clean``          — no faults; the availability-accounting baseline
+  (must report 100 % availability and zero outages);
+* ``server-crash``   — one cluster server crashes mid-day and salvages
+  back (availability dip, MTTR distribution, time-to-first-success);
+* ``lossy-backbone`` — the backbone drops/corrupts/duplicates packets
+  (retransmissions and MAC rejections, availability stays high);
+* ``flaky-campus``   — everything at once (full mode only).
+
+A fourth scenario repeats the server crash with
+``write_policy="deferred"`` to report **recovered vs lost writes**:
+stores issued while the server is down stay dirty in the Venus cache and
+are flushed after recovery; whatever is still dirty when the day ends
+would die with the workstation.  (The comparison scenarios keep the
+paper's store-on-close policy, under which a fault-free day is genuinely
+failure-free.)  Reported per plan:
+
+* ``availability`` / ``mttr`` percentiles / ``ttfs`` (virtual time —
+  byte-identical across runs for a given seed);
+* ``stores``, ``deferred_flushes``, ``dirty_remaining`` (recovered vs
+  at-risk writes);
+* ``retransmissions``, ``corrupt_rejected``, injected packet/disk
+  counters;
+* ``wall_seconds`` — what the run costs to execute.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_availability.py           # full
+    PYTHONPATH=src python benchmarks/bench_availability.py --smoke   # CI budget
+    PYTHONPATH=src python benchmarks/bench_availability.py --json F  # write JSON
+    PYTHONPATH=src python benchmarks/bench_availability.py --timeline F  # outage timeline
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+if __package__ is None or __package__ == "":  # running as a script
+    _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)
+
+from repro import ITCSystem, SystemConfig
+from repro.faults import (
+    Fault,
+    FaultPlan,
+    clean_plan,
+)
+from repro.workload import provision_campus, run_campus_day
+
+__all__ = ["run_availability_benchmark", "SHAPE", "SMOKE_SHAPE"]
+
+SHAPE = dict(clusters=2, workstations_per_cluster=6,
+             duration=1800.0, warmup=300.0)
+
+# Scaled down for CI: same plans, same code paths, a fraction of the work.
+SMOKE_SHAPE = dict(clusters=2, workstations_per_cluster=3,
+                   duration=600.0, warmup=60.0)
+
+# Absolute wall-clock budget for --smoke, seconds (whole scenario table).
+# The smoke table takes well under a second on the reference container;
+# the budget leaves generous headroom for slow shared CI runners.
+SMOKE_BUDGET_SECONDS = 10.0
+
+
+def _scenarios(shape, full):
+    """``(plan, write_policy)`` rows, with fault windows placed inside the
+    measured part of the day regardless of the shape's duration."""
+    warmup, duration = shape["warmup"], shape["duration"]
+    crash_at = warmup + 0.3 * duration
+    crash_outage = 0.15 * duration
+    crash = (Fault("server_crash", "server0", start=crash_at,
+                   duration=crash_outage),)
+    rows = [
+        (clean_plan(), "on-close"),
+        (FaultPlan(name="server-crash", faults=crash), "on-close"),
+        (FaultPlan(name="lossy-backbone", faults=(
+            Fault("link", "backbone", start=warmup, duration=duration,
+                  loss=0.03, corrupt=0.01, duplicate=0.01),
+        )), "on-close"),
+        # The recovered-vs-lost writes measurement: same crash, deferred
+        # store-through, so writes during the outage wait in the cache.
+        (FaultPlan(name="server-crash-deferred", faults=crash), "deferred"),
+    ]
+    if full:
+        rows.append((FaultPlan(name="flaky-campus", faults=(
+            Fault("link", "backbone", start=warmup, duration=duration,
+                  loss=0.02, corrupt=0.01, duplicate=0.01),
+            Fault("server_crash", "server0", start=crash_at,
+                  duration=crash_outage),
+            Fault("disk", "server1", start=warmup + 0.5 * duration,
+                  duration=0.3 * duration, error_rate=0.02,
+                  latency_factor=3.0),
+        )), "on-close"))
+    return rows
+
+
+def _run_plan(plan, shape, write_policy="on-close"):
+    """One campus day under one plan; returns the per-plan report."""
+    start_wall = time.perf_counter()
+    campus = ITCSystem(SystemConfig(
+        mode="revised",
+        clusters=shape["clusters"],
+        workstations_per_cluster=shape["workstations_per_cluster"],
+        functional_payload_crypto=False,
+        write_policy=write_policy,
+        fault_plan=plan,
+    ))
+    users = provision_campus(campus, hot_files=8, cold_files=10,
+                             shared_files=10, binary_files=6)
+    summary = run_campus_day(campus, users, duration=shape["duration"],
+                             warmup=shape["warmup"])
+    wall = time.perf_counter() - start_wall
+
+    stores = sum(ws.venus.stores for ws in campus.workstations)
+    deferred = sum(ws.venus.deferred_flushes for ws in campus.workstations)
+    dirty = sum(
+        sum(1 for entry in ws.venus.cache if entry.dirty)
+        for ws in campus.workstations
+    )
+    retransmissions = sum(ws.venus.node.retransmissions
+                          for ws in campus.workstations)
+    rejected = (
+        sum(ws.venus.node.corrupt_rejected for ws in campus.workstations)
+        + sum(server.node.corrupt_rejected for server in campus.servers)
+    )
+    availability = summary["availability"]
+    return {
+        "plan": plan.to_dict(),
+        "write_policy": write_policy,
+        "wall_seconds": round(wall, 3),
+        "virtual_actions": summary["actions"],
+        "availability": round(availability["availability"], 6),
+        "attempts": availability["attempts"],
+        "failures": availability["failures"],
+        "outages": availability["outages"],
+        "mttr": {k: round(v, 3) if isinstance(v, float) else v
+                 for k, v in availability["mttr"].items()},
+        "ttfs": {k: round(v, 3) if isinstance(v, float) else v
+                 for k, v in availability["ttfs"].items()},
+        "events": availability["events"],
+        "injections": {k: v for k, v in campus.fault_scheduler.stats.items() if v},
+        "writes": {
+            "stores": stores,
+            "deferred_flushes": deferred,
+            "dirty_remaining": dirty,
+        },
+        "retransmissions": retransmissions,
+        "corrupt_rejected": rejected,
+    }, campus
+
+
+def run_availability_benchmark(shape=None, full=None) -> dict:
+    """The whole scenario table; returns the report dict."""
+    if shape is None:
+        shape = SHAPE
+    if full is None:
+        full = shape is SHAPE
+    report = {"shape": dict(shape), "plans": {}}
+    for plan, write_policy in _scenarios(shape, full):
+        row, _campus = _run_plan(plan, shape, write_policy)
+        report["plans"][plan.name] = row
+    return report
+
+
+def _print_report(report: dict) -> None:
+    shape = report["shape"]
+    print(f"availability bench: {shape['clusters']} clusters x "
+          f"{shape['workstations_per_cluster']} workstations, "
+          f"{shape['duration']:.0f}s measured")
+    header = (f"  {'plan':16s} {'avail':>7s} {'fail':>5s} {'outages':>7s} "
+              f"{'MTTR p50':>9s} {'MTTR p90':>9s} {'rexmit':>7s} "
+              f"{'rejected':>8s} {'dirty':>6s} {'wall s':>7s}")
+    print(header)
+    for name, row in report["plans"].items():
+        mttr = row["mttr"]
+        print(f"  {name:16s} {row['availability']:7.2%} {row['failures']:>5d} "
+              f"{row['outages']:>7d} {mttr['p50']:>8.1f}s {mttr['p90']:>8.1f}s "
+              f"{row['retransmissions']:>7d} {row['corrupt_rejected']:>8d} "
+              f"{row['writes']['dirty_remaining']:>6d} "
+              f"{row['wall_seconds']:>7.2f}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="scaled-down shape under a hard time budget (CI)")
+    parser.add_argument("--json", metavar="FILE", default="",
+                        help="also write the report as JSON")
+    parser.add_argument("--timeline", metavar="FILE", default="",
+                        help="write the server-crash plan's outage timeline")
+    args = parser.parse_args()
+
+    shape = SMOKE_SHAPE if args.smoke else SHAPE
+    report = {"shape": dict(shape), "plans": {}}
+    wall_total = 0.0
+    for plan, write_policy in _scenarios(shape, full=not args.smoke):
+        row, campus = _run_plan(plan, shape, write_policy)
+        report["plans"][plan.name] = row
+        wall_total += row["wall_seconds"]
+        if args.timeline and plan.name == "server-crash":
+            os.makedirs(os.path.dirname(os.path.abspath(args.timeline)),
+                        exist_ok=True)
+            count = campus.availability.write_timeline(args.timeline)
+            print(f"timeline: {count} events -> {args.timeline}")
+    _print_report(report)
+
+    clean = report["plans"]["clean"]
+    if clean["failures"] or clean["outages"]:
+        print(f"clean plan not clean: {clean['failures']} failures, "
+              f"{clean['outages']} outages", file=sys.stderr)
+        return 1
+
+    if args.json:
+        os.makedirs(os.path.dirname(os.path.abspath(args.json)), exist_ok=True)
+        with open(args.json, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+
+    if args.smoke:
+        verdict = "ok" if wall_total <= SMOKE_BUDGET_SECONDS else "TOO SLOW"
+        print(f"smoke budget: {wall_total:.2f} s of "
+              f"{SMOKE_BUDGET_SECONDS:.1f} s allowed  {verdict}")
+        if verdict != "ok":
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

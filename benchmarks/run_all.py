@@ -38,6 +38,8 @@ from repro.rpc.costs import EncryptionMode
 from repro.sim.metrics import Samples
 
 from _common import RESULTS_DIR, run_andrew
+from bench_availability import SMOKE_SHAPE as AVAIL_SMOKE_SHAPE
+from bench_availability import run_availability_benchmark
 from bench_campus import run_campus_benchmark
 from bench_encryption import run_mode
 from bench_kernel import run_microbenchmarks
@@ -157,6 +159,12 @@ def collect() -> dict:
         "run_wall_seconds": 4.11,
         "events_per_second": 67458,
     }
+    print("availability under fault plans...")
+    # The smoke shape: the full availability table is its own bench; the
+    # tracked harness records the CI-budget variant so runs stay cheap.
+    report["availability"] = run_availability_benchmark(
+        AVAIL_SMOKE_SHAPE, full=False
+    )
     print("op latency (revised remote Andrew)...")
     report["op_latency"] = bench_op_latency()
     print("microbenchmarks...")
@@ -201,6 +209,15 @@ def summarize(report: dict) -> str:
             f" run {campus['run_wall_seconds']:.2f} s"
             f" ({campus['events_per_second']:,} events/s)"
         )
+    if report.get("availability"):
+        lines.append("availability under fault plans (smoke shape):")
+        for name, row in report["availability"]["plans"].items():
+            mttr = row["mttr"]
+            lines.append(
+                f"  {name:22s} avail {row['availability']:8.2%}"
+                f"  outages {row['outages']:<3d}"
+                f" MTTR p50 {mttr['p50']:6.1f}s p90 {mttr['p90']:6.1f}s"
+            )
     if report.get("op_latency"):
         lines.append("op latency, virtual ms (revised remote Andrew):")
         for category, stats in report["op_latency"].items():

@@ -7,6 +7,8 @@ Small, self-contained demonstrations of the reproduced system:
 * ``day``      — a synthetic campus day, reporting the §5.2 quantities;
 * ``mobility`` — the cold-cache/warm-cache mobility measurement;
 * ``status``   — a short campus day followed by the operator's dashboard;
+* ``chaos``    — a campus day under an injected fault plan (or seeded
+  random chaos), reporting availability, MTTR and the outage timeline;
 * ``trace``    — a traced benchmark run exported as a Chrome-trace file;
 * ``profile``  — a cProfile'd workload: wall-clock hot spots printed next
   to the simulation's cache counters (see ``docs/performance.md``).
@@ -24,6 +26,8 @@ import sys
 
 from repro import ITCSystem, SystemConfig, __version__
 from repro.analysis import Table, campus_report, format_share
+from repro.analysis.dashboard import availability_report
+from repro.faults import PRESETS, FaultPlan
 from repro.obs import TraceRecorder, validate_coverage
 from repro.workload import (
     AndrewBenchmark,
@@ -186,6 +190,46 @@ def cmd_status(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """Run a campus day under a fault plan; report availability and MTTR."""
+    if args.plan_file:
+        with open(args.plan_file) as handle:
+            plan = FaultPlan.from_dict(json.load(handle))
+    else:
+        plan = PRESETS[args.plan](seed=args.seed)
+    campus = ITCSystem(
+        SystemConfig(mode=args.mode, clusters=args.clusters,
+                     workstations_per_cluster=args.workstations,
+                     functional_payload_crypto=False,
+                     seed=args.seed, fault_plan=plan)
+    )
+    if args.trace:
+        _attach_recorder(args, campus)
+    users = provision_campus(campus, hot_files=8, cold_files=8,
+                             shared_files=8, binary_files=6)
+    print(f"running {len(users)} users for {args.duration:.0f}s "
+          f"(+{args.warmup:.0f}s warm-up) under plan {plan.name!r}, "
+          f"seed={plan.seed} ...")
+    summary = run_campus_day(campus, users, duration=args.duration,
+                             warmup=args.warmup)
+    print(availability_report(campus))
+    scheduler = campus.fault_scheduler
+    injected = {k: v for k, v in scheduler.stats.items() if v}
+    events = campus.availability.counters
+    print(f"\nfaults: {events['faults_injected']} injected, "
+          f"{events['recoveries']} recovered, {events['salvages']} salvage "
+          f"passes" + (f"; packet/disk injections: {injected}" if injected else ""))
+    ttfs = summary["availability"]["ttfs"]
+    if ttfs["count"]:
+        print(f"time to first success after recovery: mean {ttfs['mean']:.1f}s, "
+              f"p90 {ttfs['p90']:.1f}s")
+    if args.timeline:
+        count = campus.availability.write_timeline(args.timeline)
+        print(f"timeline: {count} events -> {args.timeline}")
+    _finish_obs(args, campus)
+    return 0
+
+
 def cmd_profile(args) -> int:
     """cProfile a workload; print hot spots next to the obs-layer counters."""
     import cProfile
@@ -314,6 +358,29 @@ def main(argv=None) -> int:
                         help="warm-up before measuring, virtual seconds (default 120)")
     obs_flags(status)
     status.set_defaults(func=cmd_status)
+
+    chaos = sub.add_parser(
+        "chaos", help="campus day under fault injection; availability report"
+    )
+    chaos.add_argument("--plan", choices=sorted(PRESETS), default="server-crash",
+                       help="named fault plan preset (default server-crash)")
+    chaos.add_argument("--plan-file", metavar="FILE", default="",
+                       help="load a FaultPlan from JSON instead of a preset")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="fault-plan seed (default 0)")
+    chaos.add_argument("--mode", choices=("prototype", "revised"), default="revised")
+    chaos.add_argument("--clusters", type=int, default=2,
+                       help="cluster count (default 2)")
+    chaos.add_argument("--workstations", type=int, default=4,
+                       help="workstations per cluster (default 4)")
+    chaos.add_argument("--duration", type=float, default=1800.0,
+                       help="measured window, virtual seconds (default 1800)")
+    chaos.add_argument("--warmup", type=float, default=120.0,
+                       help="warm-up before measuring, virtual seconds (default 120)")
+    chaos.add_argument("--timeline", metavar="FILE", default="",
+                       help="write the fault/outage timeline as JSON")
+    obs_flags(chaos)
+    chaos.set_defaults(func=cmd_chaos)
 
     profile = sub.add_parser(
         "profile", help="cProfile a workload; hot spots + cache counters"

@@ -1,6 +1,11 @@
 """Analysis: result tables, the §3.6 monitoring tools, status dashboard."""
 
-from repro.analysis.dashboard import campus_report, server_report, workstation_report
+from repro.analysis.dashboard import (
+    availability_report,
+    campus_report,
+    server_report,
+    workstation_report,
+)
 from repro.analysis.monitor import CampusMonitor, Recommendation
 from repro.analysis.report import Table, comparison_table, format_seconds, format_share
 
@@ -8,6 +13,7 @@ __all__ = [
     "CampusMonitor",
     "Recommendation",
     "Table",
+    "availability_report",
     "campus_report",
     "comparison_table",
     "format_seconds",

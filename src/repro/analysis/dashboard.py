@@ -13,7 +13,8 @@ from typing import List
 
 from repro.analysis.report import Table, format_share
 
-__all__ = ["campus_report", "server_report", "workstation_report"]
+__all__ = ["availability_report", "campus_report", "server_report",
+           "workstation_report"]
 
 
 def server_report(campus, start: float = 0.0) -> Table:
@@ -103,6 +104,49 @@ def volume_report(campus) -> Table:
     return table
 
 
+def availability_report(campus) -> Table:
+    """Outage accounting, when a fault plan is installed.
+
+    Renders the :class:`~repro.obs.availability.AvailabilityTracker`
+    summary: one row of campus-wide numbers plus one per user that
+    experienced an outage.
+    """
+    tracker = campus.availability
+    summary = tracker.summary()
+    table = Table(
+        ["scope", "ops", "ok", "failed", "availability", "outages",
+         "MTTR p50", "MTTR p90"],
+        title="Availability",
+    )
+    mttr = summary["mttr"]
+    table.add(
+        "campus",
+        summary["attempts"],
+        summary["successes"],
+        summary["failures"],
+        format_share(summary["availability"]),
+        summary["outages"],
+        f"{mttr['p50']:.1f}s",
+        f"{mttr['p90']:.1f}s",
+    )
+    for user, stats in tracker.per_user().items():
+        if not stats["failures"]:
+            continue
+        episodes = [e for e in tracker.episodes if e.user == user]
+        durations = sorted(e.duration for e in episodes)
+        table.add(
+            user,
+            stats["attempts"],
+            stats["successes"],
+            stats["failures"],
+            format_share(stats["availability"]),
+            len(episodes),
+            f"{durations[len(durations) // 2]:.1f}s" if durations else "—",
+            f"{durations[-1]:.1f}s" if durations else "—",
+        )
+    return table
+
+
 def campus_report(campus, start: float = 0.0) -> str:
     """The full report, ready to print."""
     sections: List[str] = [
@@ -122,4 +166,6 @@ def campus_report(campus, start: float = 0.0) -> str:
         for label, share in sorted(mix.items(), key=lambda kv: -kv[1]):
             mix_table.add(label, format_share(share))
         sections += ["", str(mix_table)]
+    if getattr(campus, "availability", None) is not None:
+        sections += ["", str(availability_report(campus))]
     return "\n".join(sections)

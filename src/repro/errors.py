@@ -117,6 +117,12 @@ class NoSpace(FileSystemError):
     errno_name = "ENOSPC"
 
 
+class DiskError(FileSystemError):
+    """EIO: a disk access failed (media error, injected fault)."""
+
+    errno_name = "EIO"
+
+
 # ---------------------------------------------------------------------------
 # Vice protocol
 # ---------------------------------------------------------------------------

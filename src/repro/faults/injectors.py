@@ -1,0 +1,27 @@
+"""The low-level injectors, gathered in one import surface.
+
+The injectors themselves live next to the layers they break — that is the
+point: fault injection exercises the *real* delivery, disk and CPU paths,
+not mocks.  This module just re-exports them so tests and tools can write
+``from repro.faults.injectors import LinkFaults, DiskFaults``:
+
+* :class:`~repro.net.link.LinkFaults` — seeded per-segment packet loss,
+  corruption and duplication, applied by :meth:`Network.send`; corrupted
+  envelopes must be caught by the RPC layer's MAC check.
+* :class:`~repro.storage.disk.DiskFaults` — seeded media errors
+  (:class:`~repro.errors.DiskError` after the arm moves) and a service
+  time multiplier.
+* :func:`~repro.net.packet.corrupted_datagram` — builds the damaged copy
+  a corrupted transfer delivers (the original is never mutated).
+* Host-level faults need no injector class: :meth:`Host.crash`,
+  :meth:`Host.recover`, :meth:`Host.degrade` and
+  :meth:`Host.restore_speed` are first-class host operations.
+"""
+
+from __future__ import annotations
+
+from repro.net.link import LinkFaults
+from repro.net.packet import corrupted_datagram
+from repro.storage.disk import DiskFaults
+
+__all__ = ["DiskFaults", "LinkFaults", "corrupted_datagram"]

@@ -41,6 +41,7 @@ class Host:
         self.network = network
         self.name = name
         self.cpu_speed = cpu_speed
+        self.rated_cpu_speed = cpu_speed  # nameplate speed; degrade() scales off this
         self.cpu = Resource(sim, capacity=1, name=f"cpu:{name}")
         self.disk = disk or Disk(sim, name=name, **disk_kwargs)
         self.nic: NetworkInterface = network.attach(name, segment)
@@ -92,6 +93,17 @@ class Host:
     def recover(self) -> None:
         """Bring the host back up."""
         self.up = True
+
+    def degrade(self, factor: float) -> None:
+        """Run the CPU at ``factor`` of its rated speed (thermal throttle,
+        a runaway daemon).  Only work started after the call is affected."""
+        if factor <= 0:
+            raise ValueError("degrade factor must be positive")
+        self.cpu_speed = self.rated_cpu_speed * factor
+
+    def restore_speed(self) -> None:
+        """Return the CPU to its rated speed."""
+        self.cpu_speed = self.rated_cpu_speed
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Host {self.name} speed={self.cpu_speed}>"

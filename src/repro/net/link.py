@@ -9,14 +9,77 @@ as a kernel event.
 
 from __future__ import annotations
 
-from typing import Any, Generator
+from typing import Any, Dict, Generator, Optional
 
 from repro.sim.kernel import Simulator
 from repro.sim.metrics import Counter
+from repro.sim.rand import WorkloadRandom
 from repro.sim.resources import Resource
 from repro.net.packet import WireFormat
 
-__all__ = ["Segment"]
+__all__ = ["LinkFaults", "Segment"]
+
+
+class LinkFaults:
+    """Seeded per-segment packet-fault injector (loss/corruption/duplication).
+
+    Installed on :attr:`Segment.faults` by the chaos scheduler (see
+    :mod:`repro.faults`); ``None`` — the default — costs the transfer path a
+    single attribute check.  Fates are decided per logical transfer by a
+    dedicated :class:`~repro.sim.rand.WorkloadRandom`, so identical seeds
+    reproduce identical fault sequences regardless of other campus traffic.
+
+    A *lost* transfer occupies the wire but never reaches the destination
+    inbox; a *corrupted* one arrives with flipped bytes (the RPC layer's
+    MAC check must catch it); a *duplicated* one arrives twice (at-most-once
+    semantics must absorb it).
+    """
+
+    __slots__ = ("rng", "loss", "corrupt", "duplicate", "stats")
+
+    def __init__(
+        self,
+        rng: WorkloadRandom,
+        loss: float = 0.0,
+        corrupt: float = 0.0,
+        duplicate: float = 0.0,
+        stats: Optional[Dict[str, int]] = None,
+    ):
+        for name, rate in (("loss", loss), ("corrupt", corrupt),
+                           ("duplicate", duplicate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} rate {rate!r} outside [0, 1]")
+        self.rng = rng
+        self.loss = loss
+        self.corrupt = corrupt
+        self.duplicate = duplicate
+        # Shared with the scheduler/tracker so injections are observable.
+        self.stats = stats if stats is not None else {
+            "link_lost": 0, "link_corrupted": 0, "link_duplicated": 0,
+        }
+
+    def judge(self) -> str:
+        """Fate of one transfer: "lost", "corrupted", "duplicated" or "ok".
+
+        At most one fate per transfer (a lost packet cannot also arrive
+        twice); draws short-circuit in a fixed order so the stream is
+        deterministic.
+        """
+        rng = self.rng
+        if self.loss and rng.chance(self.loss):
+            self.stats["link_lost"] += 1
+            return "lost"
+        if self.corrupt and rng.chance(self.corrupt):
+            self.stats["link_corrupted"] += 1
+            return "corrupted"
+        if self.duplicate and rng.chance(self.duplicate):
+            self.stats["link_duplicated"] += 1
+            return "duplicated"
+        return "ok"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<LinkFaults loss={self.loss} corrupt={self.corrupt}"
+                f" duplicate={self.duplicate}>")
 
 
 class Segment:
@@ -58,6 +121,9 @@ class Segment:
         self.bytes_carried = 0
         self.frames_carried = 0
         self.traffic = Counter(f"traffic:{name}")
+        # Fault injection hook (repro.faults): None keeps the segment clean
+        # and costs the delivery path one attribute check.
+        self.faults: Optional[LinkFaults] = None
 
     def transmission_time(self, payload_bytes: int) -> float:
         """Seconds the medium is occupied by ``payload_bytes`` (no queueing)."""

@@ -12,9 +12,9 @@ once per page, a whole-file transfer amortises it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Optional
 
-__all__ = ["Datagram", "WireFormat"]
+__all__ = ["Datagram", "WireFormat", "corrupted_datagram"]
 
 
 @dataclass(frozen=True)
@@ -73,3 +73,26 @@ class Datagram:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Datagram(source={self.source!r}, destination={self.destination!r}, "
                 f"payload_bytes={self.payload_bytes}, hops={self.hops})")
+
+
+def corrupted_datagram(datagram: Datagram, rng: Any) -> Optional[Datagram]:
+    """A copy of ``datagram`` whose payload arrived with flipped bits.
+
+    The network treats payloads as opaque, so corruption is delegated to the
+    payload itself via a ``corrupted_copy(rng)`` method (the RPC layer's
+    :class:`~repro.rpc.messages.Envelope` implements it).  Returns ``None``
+    when the payload cannot be meaningfully corrupted — the caller should
+    then deliver the original untouched.  The original datagram is never
+    mutated: in-process simulation shares payload objects with the sender's
+    reply cache.
+    """
+    corrupt = getattr(datagram.payload, "corrupted_copy", None)
+    if corrupt is None:
+        return None
+    payload = corrupt(rng)
+    if payload is None:
+        return None
+    return Datagram(
+        datagram.source, datagram.destination, payload,
+        datagram.payload_bytes, hops=datagram.hops, metadata=datagram.metadata,
+    )

@@ -14,8 +14,8 @@ from collections import deque
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from repro.errors import SimulationError
-from repro.net.link import Segment
-from repro.net.packet import Datagram
+from repro.net.link import LinkFaults, Segment
+from repro.net.packet import Datagram, corrupted_datagram
 from repro.sim.kernel import Simulator
 from repro.sim.resources import Store
 
@@ -80,6 +80,9 @@ class Network:
         # scan-all-bridges loop did.
         self._adjacency: Dict[str, List[Tuple[Segment, Bridge]]] = {}
         self.partitioned: set = set()  # names of segments currently cut off
+        # Count of segments with an installed LinkFaults injector; zero keeps
+        # the delivery path on its original no-branching-per-hop shape.
+        self._faulty_segments = 0
         self.route_hits = 0
         self.route_misses = 0
         sim.metrics.counter(
@@ -127,6 +130,13 @@ class Network:
         """Restore a previously partitioned segment."""
         self.partitioned.discard(segment_name)
         self._route_cache.clear()
+
+    def install_link_faults(self, segment_name: str, faults: Optional[LinkFaults]) -> None:
+        """Attach (or, with ``None``, remove) a fault injector on a segment."""
+        segment = self.segments[segment_name]
+        if (segment.faults is None) != (faults is None):
+            self._faulty_segments += 1 if faults is not None else -1
+        segment.faults = faults
 
     # -- routing --------------------------------------------------------------
 
@@ -222,8 +232,33 @@ class Network:
                 yield timeout(bridge.forwarding_delay)
             yield from segment.transmit(payload_bytes, kind=kind)
         datagram.hops = len(hops)
+        copies = 1
+        if self._faulty_segments and deliver:
+            # Each faulty segment crossed judges the transfer independently;
+            # a loss anywhere ends it, corruption and duplication compose
+            # (the duplicate of a corrupted transfer is also corrupted, as
+            # a bridge re-forwards the damaged frame it received).
+            corrupted = False
+            for segment, _bridge in hops:
+                faults = segment.faults
+                if faults is None:
+                    continue
+                fate = faults.judge()
+                if fate == "lost":
+                    deliver = False
+                    break
+                if fate == "corrupted":
+                    if not corrupted:
+                        damaged = corrupted_datagram(datagram, faults.rng)
+                        if damaged is not None:
+                            datagram = damaged
+                            corrupted = True
+                elif fate == "duplicated":
+                    copies += 1
         if deliver:
-            self.interfaces[datagram.destination].inbox.put(datagram)
+            inbox = self.interfaces[datagram.destination].inbox
+            for _ in range(copies):
+                inbox.put(datagram)
 
     def total_bytes_on(self, segment_name: str) -> int:
         """Wire bytes carried by a segment so far (for traffic experiments)."""

@@ -22,6 +22,7 @@ Every :class:`~repro.sim.kernel.Simulator` carries both: ``sim.tracer``
 See ``docs/observability.md`` for the span model and metric name scheme.
 """
 
+from repro.obs.availability import AvailabilityTracker, OutageEpisode
 from repro.obs.registry import Instrument, MetricsRegistry
 from repro.obs.trace import (
     NULL_RECORDER,
@@ -35,8 +36,10 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "AvailabilityTracker",
     "Instrument",
     "MetricsRegistry",
+    "OutageEpisode",
     "NULL_RECORDER",
     "NullRecorder",
     "Span",

@@ -78,6 +78,29 @@ class Envelope:
             + len(self.note)
         )
 
+    def corrupted_copy(self, rng: Any) -> "Envelope | None":
+        """This envelope as it would arrive after in-flight bit corruption.
+
+        A real datagram is one sealed unit on the wire, so flipping any bit
+        fails the whole message's MAC check at the receiver; we model that
+        by flipping one byte of the sealed ``body``.  Only data-carrying
+        CALL/REPLY envelopes are corruptible — handshake messages carry
+        their own tamper evidence by construction, and BUSY acks have no
+        body — so other kinds return ``None`` (deliver unchanged).  The
+        ``decoded`` in-process shortcut is dropped: a corrupted wire message
+        cannot carry a plaintext side channel, and the receiver must detect
+        the damage from the bytes alone.
+        """
+        if self.kind not in (Kind.CALL, Kind.REPLY) or not self.body:
+            return None
+        body = bytearray(self.body)
+        position = rng.randint(0, len(body) - 1)
+        body[position] ^= rng.randint(1, 255)
+        return Envelope(
+            self.kind, self.connection_id, self.seq, bytes(body), self.payload,
+            username=self.username, note=self.note, trace=self.trace,
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Envelope(kind={self.kind!r}, connection_id={self.connection_id!r}, "
                 f"seq={self.seq}, body={len(self.body)}B, payload={len(self.payload)}B)")

@@ -31,6 +31,7 @@ from typing import Any, Callable, Dict, Generator, Optional, Tuple
 from repro.crypto.handshake import ClientHandshake, ServerHandshake
 from repro.errors import (
     AuthenticationFailure,
+    IntegrityError,
     NotAuthenticated,
     ReproError,
     ServerUnavailable,
@@ -106,6 +107,7 @@ class RpcNode:
         self.calls_sent = Counter(f"calls-tx:{host.name}")
         self.handshakes_completed = 0
         self.retransmissions = 0
+        self.corrupt_rejected = 0  # messages whose MAC/unmarshal check failed
 
         # Registry instruments: providers are closures over self, so they
         # keep reading the live objects across counter resets.
@@ -116,6 +118,7 @@ class RpcNode:
         metrics.gauge(f"{prefix}.handshakes_completed",
                       lambda: self.handshakes_completed)
         metrics.gauge(f"{prefix}.retransmissions", lambda: self.retransmissions)
+        metrics.gauge(f"{prefix}.corrupt_rejected", lambda: self.corrupt_rejected)
         metrics.gauge(f"{prefix}.connections", lambda: len(self.connections))
         # Per-procedure round-trip latency distributions, created lazily on
         # first call and registered as rpc.<host>.latency.<procedure>.
@@ -254,26 +257,37 @@ class RpcNode:
             self.calls_sent.add(procedure)
 
             key = (conn.connection_id, seq)
-            event = self.sim.event()
-            self._pending[key] = event
-            try:
-                reply = yield from self._send_and_wait(
-                    envelope, peer, event, expect_bytes=expect_bytes
-                )
-            finally:
-                self._pending.pop(key, None)
+            while True:
+                event = self.sim.event()
+                self._pending[key] = event
+                try:
+                    reply = yield from self._send_and_wait(
+                        envelope, peer, event, expect_bytes=expect_bytes
+                    )
+                finally:
+                    self._pending.pop(key, None)
 
-            crypto_cpu = self.costs.encrypt_seconds(
-                conn.encryption, len(reply.body) + len(reply.payload)
-            )
-            yield from self.host.compute(crypto_cpu)
-            decoded = reply.decoded
-            if decoded is not None:
-                conn.decrypt(reply.body)  # tag check against the wire bytes
+                crypto_cpu = self.costs.encrypt_seconds(
+                    conn.encryption, len(reply.body) + len(reply.payload)
+                )
+                yield from self.host.compute(crypto_cpu)
+                decoded = reply.decoded
+                try:
+                    if decoded is not None:
+                        conn.decrypt(reply.body)  # tag check against the wire bytes
+                    else:
+                        decoded = decode_body(conn.decrypt(reply.body))
+                    reply_payload = self._unprotect_payload(conn, reply.payload)
+                except (IntegrityError, marshal.MarshalError):
+                    # The reply arrived damaged (in-flight corruption): never
+                    # accept it.  Re-ask — the server replays its cached,
+                    # intact reply without re-executing the call.
+                    self.corrupt_rejected += 1
+                    continue
+                # Outside the except: a *server-raised* error travelling in a
+                # clean reply must propagate to the caller, not trigger retry.
                 result = maybe_raise(decoded)
-            else:
-                result = maybe_raise(decode_body(conn.decrypt(reply.body)))
-            reply_payload = self._unprotect_payload(conn, reply.payload)
+                break
         bag = self._latency_bags.get(procedure)
         if bag is None:
             bag = self._latency_bags[procedure] = self.sim.metrics.histogram(
@@ -507,10 +521,21 @@ class RpcNode:
             yield from self.host.compute(dispatch_cpu + crypto_cpu)
 
             decoded = envelope.decoded
-            if decoded is not None:
-                conn.decrypt(envelope.body)  # tag check against the wire bytes
-            else:
-                decoded = decode_body(conn.decrypt(envelope.body))
+            try:
+                if decoded is not None:
+                    conn.decrypt(envelope.body)  # tag check against the wire bytes
+                else:
+                    decoded = decode_body(conn.decrypt(envelope.body))
+            except (IntegrityError, marshal.MarshalError):
+                # The call arrived damaged (in-flight corruption): reject it
+                # without executing anything, and free the reply-cache slot so
+                # the client's retransmission is admitted as a fresh copy
+                # rather than busy-acked against a call that will never run.
+                self.corrupt_rejected += 1
+                cache = self._reply_cache.get(envelope.connection_id)
+                if cache is not None and cache.get(envelope.seq) is _IN_PROGRESS:
+                    del cache[envelope.seq]
+                return
             procedure = decoded.get("proc", "?")
             span.rename(f"rpc.serve:{procedure}")
             self.calls_received.add(procedure)

@@ -14,12 +14,53 @@ latency), ~1 MB/s sustained transfer.
 
 from __future__ import annotations
 
-from typing import Any, Generator
+from typing import Any, Dict, Generator, Optional
 
+from repro.errors import DiskError
 from repro.sim.kernel import Simulator
+from repro.sim.rand import WorkloadRandom
 from repro.sim.resources import Resource
 
-__all__ = ["Disk"]
+__all__ = ["Disk", "DiskFaults"]
+
+
+class DiskFaults:
+    """Seeded disk-fault injector: media errors and degraded service time.
+
+    Installed on :attr:`Disk.faults` by the chaos scheduler (see
+    :mod:`repro.faults`); ``None`` — the default — costs the access path a
+    single attribute check.  An *error* access pays the positioning cost
+    (the arm moved before the medium failed) and raises
+    :class:`~repro.errors.DiskError`, which travels across RPC like any
+    other file-system error.  A ``latency_factor`` above 1 stretches every
+    access (a failing drive retrying internally, a busy controller).
+    """
+
+    __slots__ = ("rng", "error_rate", "latency_factor", "stats")
+
+    def __init__(
+        self,
+        rng: WorkloadRandom,
+        error_rate: float = 0.0,
+        latency_factor: float = 1.0,
+        stats: Optional[Dict[str, int]] = None,
+    ):
+        if not 0.0 <= error_rate <= 1.0:
+            raise ValueError(f"error rate {error_rate!r} outside [0, 1]")
+        if latency_factor <= 0:
+            raise ValueError("latency_factor must be positive")
+        self.rng = rng
+        self.error_rate = error_rate
+        self.latency_factor = latency_factor
+        # Shared with the scheduler/tracker so injections are observable.
+        self.stats = stats if stats is not None else {"disk_errors": 0}
+
+    def fails(self) -> bool:
+        """Decide whether one access hits a media error."""
+        if self.error_rate and self.rng.chance(self.error_rate):
+            self.stats["disk_errors"] += 1
+            return True
+        return False
 
 
 class Disk:
@@ -44,6 +85,9 @@ class Disk:
         self.bytes_read = 0
         self.bytes_written = 0
         self.operations = 0
+        # Fault injection hook (repro.faults): None keeps the disk healthy
+        # and costs the access path one attribute check.
+        self.faults: Optional[DiskFaults] = None
 
     def service_time(self, nbytes: int, sequential: bool = True, page_size: int = 4096) -> float:
         """Seconds of disk time for ``nbytes``, without queueing.
@@ -73,15 +117,26 @@ class Disk:
             self.bytes_written += max(0, nbytes)
         else:
             self.bytes_read += max(0, nbytes)
+        service = self.service_time(nbytes, sequential, page_size)
+        faults = self.faults
+        if faults is not None:
+            if faults.fails():
+                # The arm still moved: charge the positioning cost, then fail.
+                yield from self.arm.use(self.avg_seek + self.avg_rotation)
+                raise DiskError(
+                    f"disk {self.name}: media error on "
+                    f"{'write' if write else 'read'} of {max(0, nbytes)} bytes"
+                )
+            service *= faults.latency_factor
         # Hottest instrumented path in the simulator: guard on `enabled` so
         # untraced runs skip even the null span call.
         tracer = self.sim.tracer
         if tracer.enabled:
             with tracer.span("disk.access", component="storage", host=self.name,
                              bytes=max(0, nbytes), write=write):
-                yield from self.arm.use(self.service_time(nbytes, sequential, page_size))
+                yield from self.arm.use(service)
         else:
-            yield from self.arm.use(self.service_time(nbytes, sequential, page_size))
+            yield from self.arm.use(service)
 
     def mean_utilization(self, start: float = 0.0, end=None) -> float:
         """Fraction of time the arm was busy over the window (paper's 14%)."""

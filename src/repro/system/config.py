@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional
 
+from repro.faults.plan import FaultPlan
 from repro.rpc.costs import EncryptionMode, RpcCosts
 from repro.vice.costs import ViceCosts
 from repro.venus.venus import VenusCosts
@@ -65,6 +66,12 @@ class SystemConfig:
     rpc_costs: Optional[RpcCosts] = None
     vice_costs: Optional[ViceCosts] = None
     venus_costs: Optional[VenusCosts] = None
+
+    # Fault injection (see repro.faults).  None keeps every fault hook off
+    # and the campus byte-identical to a build without the faults package;
+    # a plan — even an empty "clean" one — installs the scheduler and the
+    # availability tracker at construction time.
+    fault_plan: Optional[FaultPlan] = None
 
     seed: int = 0
 

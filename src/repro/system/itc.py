@@ -21,6 +21,9 @@ from typing import Any, Dict, Generator, Iterator, List, Optional, Tuple
 
 from repro.crypto.keys import derive_user_key
 from repro.errors import InvalidArgument
+from repro.faults.plan import FaultPlan
+from repro.faults.scheduler import FaultScheduler
+from repro.obs.availability import AvailabilityTracker
 from repro.sim.kernel import Simulator
 from repro.sim.rand import WorkloadRandom
 from repro.storage import pathutil
@@ -73,6 +76,14 @@ class ITCSystem:
         self.servers[0].add_volume(root)
         self._location_master.add("/", _ROOT_VOLUME, self.servers[0].host.name)
         self.sync_databases()
+
+        # Fault injection (repro.faults): nothing exists until a plan is
+        # installed, so unfaulted campuses stay byte-identical to builds
+        # predating the subsystem.
+        self.availability: Optional[AvailabilityTracker] = None
+        self.fault_scheduler: Optional[FaultScheduler] = None
+        if self.config.fault_plan is not None:
+            self.install_faults(self.config.fault_plan)
 
     # ==================================================================
     # lookups
@@ -235,6 +246,24 @@ class ITCSystem:
         """Setup-time ACL assignment on a directory inside a volume."""
         inode = volume.resolve(path)
         volume.acls[inode.number] = acl
+
+    # ==================================================================
+    # fault injection
+    # ==================================================================
+
+    def install_faults(self, plan: FaultPlan) -> FaultScheduler:
+        """Install a fault plan: availability tracking plus the scheduler.
+
+        Idempotence is deliberate — a campus runs at most one plan, so a
+        second installation raises.  Installing even an empty plan turns
+        availability accounting on; it never changes virtual time.
+        """
+        if self.fault_scheduler is not None:
+            raise InvalidArgument("a fault plan is already installed")
+        self.availability = AvailabilityTracker(self.sim)
+        self.fault_scheduler = FaultScheduler(self, plan)
+        self.fault_scheduler.install()
+        return self.fault_scheduler
 
     # ==================================================================
     # runtime driving

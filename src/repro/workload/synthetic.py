@@ -80,6 +80,9 @@ class SyntheticUser:
         self.failures = 0
         self.action_latencies = Samples("action-latency")
         self._create_counter = 0
+        # Availability accounting (repro.obs.availability): attached by
+        # run_campus_day when the campus has a fault plan installed.
+        self.tracker = None
 
     # -- file choice ---------------------------------------------------------
 
@@ -174,8 +177,12 @@ class SyntheticUser:
                 yield from self._one_action()
                 self.actions += 1
                 self.action_latencies.add(sim.now - started)
+                if self.tracker is not None:
+                    self.tracker.record_op(self.session.username, True)
             except ReproError:
                 self.failures += 1
+                if self.tracker is not None:
+                    self.tracker.record_op(self.session.username, False)
 
 
 def provision_campus(
@@ -261,6 +268,7 @@ def run_campus_day(
     """
     sim = campus.sim
     rng = WorkloadRandom(4242)
+    tracker = getattr(campus, "availability", None)
 
     def staggered(user: SyntheticUser, delay: float) -> Generator:
         yield sim.timeout(delay)
@@ -276,13 +284,17 @@ def run_campus_day(
         for user in users:
             user.actions = 0
             user.failures = 0
+    # Attach availability accounting only for the measured window, so the
+    # reported ratio lines up with the other post-warmup counters.
+    for user in users:
+        user.tracker = tracker
     start = sim.now
     sim.run_until_complete(
         sim.all_of(processes), limit=start + duration + stagger + 7200
     )
 
     busiest, cpu = campus.busiest_server(start=start)
-    return {
+    summary = {
         "duration": sim.now - start,
         "actions": sum(user.actions for user in users),
         "failures": sum(user.failures for user in users),
@@ -294,3 +306,6 @@ def run_campus_day(
         "busiest_disk": busiest.host.disk_utilization(start),
         "cross_cluster_bytes": campus.cross_cluster_bytes(),
     }
+    if tracker is not None:
+        summary["availability"] = tracker.summary()
+    return summary

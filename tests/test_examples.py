@@ -16,6 +16,7 @@ FAST_EXAMPLES = [
     "software_release",
     "heterogeneous_campus",
     "campus_operations",
+    "chaos_day",
 ]
 
 
@@ -60,3 +61,11 @@ def test_andrew_example_runs(capsys):
     out = capsys.readouterr().out
     assert "Total" in out
     assert "remote" in out and "+87%" in out
+
+
+def test_chaos_day_reports_outage_accounting(capsys):
+    importlib.import_module("chaos_day").main()
+    out = capsys.readouterr().out
+    assert "campus availability:" in out
+    assert "salvage passes" in out
+    assert "MTTR" in out

@@ -8,6 +8,7 @@ temporary loss of service to small groups of users."
 import pytest
 
 from repro.errors import ServerUnavailable
+from repro.faults import Fault, FaultPlan
 from repro.rpc.costs import RpcCosts
 from tests.helpers import alice_session, run, small_campus
 
@@ -140,6 +141,85 @@ class TestLossyNetwork:
             run(campus, session.write_file(f"{HOME}/f{index}", b"data%d" % index))
         for index in range(5):
             assert run(campus, session.read_file(f"{HOME}/f{index}")) == b"data%d" % index
+
+
+class TestFaultPlanScenarios:
+    """The repro.faults scheduler reproduces the hand-rolled failure stories.
+
+    Same observable sequence whether the partition/crash is injected by a
+    declarative :class:`FaultPlan` window or by calling
+    ``network.partition``/``host.crash`` directly from a process — the
+    scheduler is sugar over the same primitives, not a new failure model.
+    """
+
+    def _partition_story(self, campus):
+        """Write before the window, fail inside it, read back after heal."""
+        session = alice_session(campus, "ws1-0")  # other cluster than server0
+        run(campus, session.write_file(f"{HOME}/f", b"x"))
+        campus.sim.run(until=120.0)  # inside the partition window
+        assert "cluster1" in campus.network.partitioned
+        campus.workstation("ws1-0").venus.cache.invalidate_all()
+        with pytest.raises(Exception):
+            run(campus, session.read_file(f"{HOME}/f"))
+        campus.sim.run(until=250.0)  # healed
+        assert not campus.network.partitioned
+        return run(campus, session.read_file(f"{HOME}/f"))
+
+    def test_bridge_partition_then_heal_via_plan(self):
+        plan = FaultPlan(name="bridge-outage", faults=(
+            Fault("partition", "cluster1", start=100.0, duration=100.0),
+        ))
+        campus = impatient_campus(clusters=2, workstations_per_cluster=1,
+                                  fault_plan=plan)
+        assert self._partition_story(campus) == b"x"
+        tracker = campus.availability
+        assert tracker.counters["faults_injected"] == 1
+        assert tracker.counters["recoveries"] == 1
+
+    def test_bridge_partition_then_heal_hand_rolled_parity(self):
+        campus = impatient_campus(clusters=2, workstations_per_cluster=1)
+
+        def orchestrate():
+            yield campus.sim.timeout(100.0)
+            campus.network.partition("cluster1")
+            yield campus.sim.timeout(100.0)
+            campus.network.heal("cluster1")
+
+        campus.sim.process(orchestrate(), name="manual-faults")
+        assert self._partition_story(campus) == b"x"
+
+    def test_double_fault_server_crash_during_partition(self):
+        """A crash inside a partition window: the stranded cluster keeps
+        serving its own users, the crashed custodian's users wait for both
+        reverts, and the tracker sees two faults and one salvage."""
+        plan = FaultPlan(name="double-fault", faults=(
+            Fault("partition", "cluster1", start=100.0, duration=150.0),
+            Fault("server_crash", "server0", start=120.0, duration=60.0),
+        ))
+        campus = impatient_campus(clusters=2, workstations_per_cluster=1,
+                                  fault_plan=plan)
+        campus.add_user("bob", "bob-pw")
+        campus.create_user_volume("bob", cluster=1)
+        alice = alice_session(campus, "ws0-0")
+        bob = campus.login("ws1-0", "bob", "bob-pw")
+        run(campus, alice.write_file(f"{HOME}/f", b"v1"))
+        run(campus, bob.write_file("/vice/usr/bob/f", b"b1"))
+
+        campus.sim.run(until=130.0)  # both faults live
+        assert len(campus.fault_scheduler.active) == 2
+        campus.workstation("ws0-0").venus.cache.invalidate_all()
+        with pytest.raises(ServerUnavailable):
+            run(campus, alice.read_file(f"{HOME}/f"))
+        # Bob's whole world is inside the partitioned cluster: untouched.
+        assert run(campus, bob.read_file("/vice/usr/bob/f")) == b"b1"
+
+        campus.sim.run(until=300.0)  # crash reverted, partition healed
+        assert not campus.fault_scheduler.active
+        assert run(campus, alice.read_file(f"{HOME}/f")) == b"v1"
+        tracker = campus.availability
+        assert tracker.counters["faults_injected"] == 2
+        assert tracker.counters["recoveries"] == 2
+        assert tracker.counters["salvages"] == 1
 
 
 class TestPartitionedClusterAutonomy:
