@@ -1,12 +1,12 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test bench-smoke campus-smoke chaos-smoke trace-smoke bench results
+.PHONY: check test bench-smoke campus-smoke metropolis-smoke chaos-smoke trace-smoke bench results
 
 # Tier-1 gate: the full test suite plus the wall-clock time budgets.
 # A >2x wall-clock regression in the kernel, cipher or the end-to-end
 # campus path fails the corresponding smoke target.
-check: test bench-smoke campus-smoke chaos-smoke
+check: test bench-smoke campus-smoke metropolis-smoke chaos-smoke
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -18,6 +18,12 @@ bench-smoke:
 campus-smoke:
 	mkdir -p benchmarks/results
 	$(PYTHON) benchmarks/bench_campus.py --smoke --json benchmarks/results/campus-smoke.json
+
+# Scale sweep (200 + 1,000 workstations) under a hard wall-clock budget;
+# the 5,000-workstation scale is a local/manual full run.
+metropolis-smoke:
+	mkdir -p benchmarks/results
+	$(PYTHON) benchmarks/bench_metropolis.py --smoke --json benchmarks/results/metropolis-smoke.json
 
 # Availability under fault plans, scaled shape under a hard wall-clock
 # budget; fails if the clean plan reports any failure or outage.

@@ -107,16 +107,23 @@ def provision_protection_domain(campus, projects_per_dept, projects_per_user):
 
 
 def build_campus(clusters, workstations_per_cluster, projects_per_dept,
-                 projects_per_user, seed=0, **_ignored):
-    """Build and provision the campus; returns ``(campus, users)``."""
-    campus = ITCSystem(SystemConfig(
+                 projects_per_user, seed=0, scheduler=None, **_ignored):
+    """Build and provision the campus; returns ``(campus, users)``.
+
+    ``scheduler`` overrides the event-queue implementation ("calendar" or
+    "heap"); ``None`` keeps the :class:`SystemConfig` default.
+    """
+    config_kwargs = dict(
         mode="revised",
         clusters=clusters,
         workstations_per_cluster=workstations_per_cluster,
         functional_payload_crypto=False,
         cache_max_files=120,
         seed=seed,
-    ))
+    )
+    if scheduler is not None:
+        config_kwargs["scheduler"] = scheduler
+    campus = ITCSystem(SystemConfig(**config_kwargs))
     # batch_setup coalesces the per-mutation replica pushes; fall back to a
     # no-op so this script still measures the pre-optimisation baseline.
     batch = getattr(campus, "batch_setup", contextlib.nullcontext)

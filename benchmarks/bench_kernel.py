@@ -68,6 +68,62 @@ def resource_churn(processes: int = 50, claims: int = 200) -> float:
     return time.perf_counter() - start
 
 
+def queue_churn(scheduler: str = "calendar", pending: int = 2_000,
+                cycles: int = 50_000) -> float:
+    """Wall seconds of insert/extract-heavy queue traffic.
+
+    Holds ``pending`` timers alive (a metropolis-sized pending set, far
+    beyond what ``event_churn``'s lockstep hops keep queued) while every
+    fired timer immediately reschedules at a spread of delays — the
+    steady-state push/pop pattern the calendar queue's O(1) buckets are
+    built for.  Catches scheduler regressions without a campus build.
+    """
+    sim = Simulator(scheduler=scheduler)
+    fired = [0]
+
+    def rearm(event):
+        fired[0] += 1
+        if fired[0] < cycles:
+            # Deterministic spread over ~3 decades of delay, like a campus
+            # mixing RPC service times with user think timers.
+            delay = 0.001 * (1 + (fired[0] * 7919) % 997)
+            sim.timeout(delay).add_callback(rearm)
+
+    for index in range(pending):
+        sim.timeout(0.001 * (index + 1)).add_callback(rearm)
+    start = time.perf_counter()
+    sim.run()
+    return time.perf_counter() - start
+
+
+def cancel_churn(scheduler: str = "calendar", rpcs: int = 30_000,
+                 pending: int = 500) -> float:
+    """Wall seconds of cancel-heavy traffic: retransmit timers that lose.
+
+    Every simulated RPC arms a guard timer and then completes first, so
+    the timer is cancelled — the lazy-cancel pattern that used to leave
+    corpses in the heap until their timestamp came due.  Exercises
+    ``note_cancel`` bookkeeping and threshold compaction under a standing
+    population of ``pending`` long timers.
+    """
+    sim = Simulator(scheduler=scheduler)
+    done = [0]
+
+    def complete(event):
+        done[0] += 1
+        if done[0] < rpcs:
+            guard = sim.timeout(30.0)          # retransmit guard, never fires
+            guard.cancel()
+            sim.timeout(0.002).add_callback(complete)
+
+    for index in range(pending):
+        sim.timeout(1000.0 + index)            # standing far-future load
+    sim.timeout(0.002).add_callback(complete)
+    start = time.perf_counter()
+    sim.run(until=900.0)
+    return time.perf_counter() - start
+
+
 # ----------------------------------------------------------------------
 # session crypto
 # ----------------------------------------------------------------------
@@ -106,6 +162,10 @@ def session_roundtrip(size: int = 65_536, messages: int = 50) -> float:
 _FULL = {
     "event_churn": lambda: event_churn(),
     "resource_churn": lambda: resource_churn(),
+    "queue_churn_calendar": lambda: queue_churn("calendar"),
+    "queue_churn_heap": lambda: queue_churn("heap"),
+    "cancel_churn_calendar": lambda: cancel_churn("calendar"),
+    "cancel_churn_heap": lambda: cancel_churn("heap"),
     "crypto_seal_unseal_64k": lambda: crypto_seal_unseal(),
     "session_roundtrip_64k": lambda: session_roundtrip(),
 }
@@ -117,6 +177,10 @@ _FULL = {
 _SMOKE = {
     "event_churn": (lambda: event_churn(processes=100, hops=100), 0.035),
     "resource_churn": (lambda: resource_churn(processes=50, claims=100), 0.045),
+    "queue_churn_calendar": (lambda: queue_churn("calendar", pending=500, cycles=10_000), 0.060),
+    "queue_churn_heap": (lambda: queue_churn("heap", pending=500, cycles=10_000), 0.060),
+    "cancel_churn_calendar": (lambda: cancel_churn("calendar", rpcs=5_000, pending=200), 0.060),
+    "cancel_churn_heap": (lambda: cancel_churn("heap", rpcs=5_000, pending=200), 0.060),
     "crypto_seal_unseal_64k": (lambda: crypto_seal_unseal(repeats=10), 0.035),
     "session_roundtrip_64k": (lambda: session_roundtrip(messages=25), 0.075),
 }
@@ -151,6 +215,26 @@ def test_kernel_event_churn(benchmark):
 
 def test_kernel_resource_churn(benchmark):
     benchmark.pedantic(resource_churn, rounds=3, iterations=1, warmup_rounds=1)
+
+
+def test_kernel_queue_churn_calendar(benchmark):
+    benchmark.pedantic(lambda: queue_churn("calendar"),
+                       rounds=3, iterations=1, warmup_rounds=1)
+
+
+def test_kernel_queue_churn_heap(benchmark):
+    benchmark.pedantic(lambda: queue_churn("heap"),
+                       rounds=3, iterations=1, warmup_rounds=1)
+
+
+def test_kernel_cancel_churn_calendar(benchmark):
+    benchmark.pedantic(lambda: cancel_churn("calendar"),
+                       rounds=3, iterations=1, warmup_rounds=1)
+
+
+def test_kernel_cancel_churn_heap(benchmark):
+    benchmark.pedantic(lambda: cancel_churn("heap"),
+                       rounds=3, iterations=1, warmup_rounds=1)
 
 
 def test_crypto_seal_unseal(benchmark):

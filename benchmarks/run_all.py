@@ -43,6 +43,7 @@ from bench_availability import run_availability_benchmark
 from bench_campus import run_campus_benchmark
 from bench_encryption import run_mode
 from bench_kernel import run_microbenchmarks
+from bench_metropolis import SMOKE_SCALES, run_metropolis_benchmark
 from bench_scalability import run_concurrent
 
 # Paper-facing operation categories (§5.2 Table) -> RPC procedures, both
@@ -159,6 +160,11 @@ def collect() -> dict:
         "run_wall_seconds": 4.11,
         "events_per_second": 67458,
     }
+    print("metropolis sweep (200 + 1,000 workstations, smoke scales)...")
+    # The scale trajectory the calendar-queue kernel exists for: events/s
+    # at each campus size.  The tracked harness runs the smoke scales (the
+    # 5,000-workstation scale is a local/manual bench_metropolis run).
+    report["metropolis"] = run_metropolis_benchmark(SMOKE_SCALES)
     print("availability under fault plans...")
     # The smoke shape: the full availability table is its own bench; the
     # tracked harness records the CI-budget variant so runs stay cheap.
@@ -209,6 +215,15 @@ def summarize(report: dict) -> str:
             f" run {campus['run_wall_seconds']:.2f} s"
             f" ({campus['events_per_second']:,} events/s)"
         )
+    if report.get("metropolis"):
+        lines.append(f"metropolis sweep (scheduler "
+                     f"{report['metropolis']['scheduler']}):")
+        for scale in report["metropolis"]["scales"]:
+            lines.append(
+                f"  {scale['name']:12s} {scale['workstations']:>5d} ws"
+                f"  run {scale['run_wall_seconds']:7.2f} s"
+                f"  {scale['events_per_second']:>8,} events/s"
+            )
     if report.get("availability"):
         lines.append("availability under fault plans (smoke shape):")
         for name, row in report["availability"]["plans"].items():

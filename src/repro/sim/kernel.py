@@ -24,15 +24,33 @@ init event, ``run`` drives an inlined loop, timeouts skip the generic event
 constructor) without changing any observable ordering: events still fire in
 (time, creation-sequence) order, so seeded runs are byte-identical to the
 original kernel's.
+
+Two structures hold pending events:
+
+* the **cascade deque** (``_nq``) — events due at exactly the current
+  instant: every ``succeed``/``fail``, process start and zero-delay
+  timeout.  Same-instant cascades (an RPC reply waking a process that
+  immediately claims a resource that immediately grants...) append and pop
+  in FIFO order at deque speed, never touching the time-ordered queue.
+  Creation order *is* sequence order, so the FIFO tie-break is preserved.
+* the **scheduler** (:mod:`repro.sim.schedulers`) — events strictly in the
+  future, ordered by ``(time, sequence)``.  Pluggable via
+  ``Simulator(scheduler=...)``: ``calendar`` (the default, a self-resizing
+  bucketed time wheel) or ``heap`` (the original binary heap, kept as the
+  reference oracle).  When the clock advances to a timestamp, the whole
+  cohort at that timestamp is drained into the cascade deque in one batch
+  and dispatched without re-touching the queue.
 """
 
 from __future__ import annotations
 
 import logging
-from heapq import heappop, heappush
+from collections import deque
+from functools import partial
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from repro.errors import Interrupt, SimulationError
+from repro.sim.schedulers import make_scheduler
 
 __all__ = [
     "Event",
@@ -99,7 +117,7 @@ class Event:
         self._value = value
         sim = self.sim
         sim._sequence += 1
-        heappush(sim._heap, (sim.now, sim._sequence, self))
+        sim._nq.append(self)
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -112,7 +130,7 @@ class Event:
         self._exc = exc
         sim = self.sim
         sim._sequence += 1
-        heappush(sim._heap, (sim.now, sim._sequence, self))
+        sim._nq.append(self)
         return self
 
     def defuse(self) -> "Event":
@@ -124,11 +142,15 @@ class Event:
         """Discard a scheduled firing: the kernel skips this event on pop.
 
         Only valid for events whose outcome nobody still observes (e.g. the
-        losing branch of an ``any_of`` race).  The heap entry stays where it
-        is — sequence numbers, and therefore same-instant ordering of every
-        other event, are untouched — but its callbacks never run.
+        losing branch of an ``any_of`` race).  The queue entry stays where
+        it is — sequence numbers, and therefore same-instant ordering of
+        every other event, are untouched — but its callbacks never run.
+        The scheduler counts the corpse and compacts itself once enough
+        accumulate, so cancel-heavy workloads (retransmit timers that
+        almost always lose their race) keep the queue bounded.
         """
         self._cancelled = True
+        self.sim._queue.note_cancel()
         return self
 
     # -- internal ---------------------------------------------------------
@@ -174,7 +196,14 @@ class Timeout(Event):
         self._cancelled = False
         self.delay = delay
         sim._sequence += 1
-        heappush(sim._heap, (sim.now + delay, sim._sequence, self))
+        now = sim.now
+        when = now + delay
+        if when > now:
+            sim._qpush(when, sim._sequence, self)
+        else:
+            # Zero (or underflowing) delay: due this very instant, so it
+            # joins the cascade deque in creation order.
+            sim._nq.append(self)
 
 
 class _InitSignal:
@@ -209,7 +238,7 @@ class Process(Event):
         self._started = False
         # Schedule ourselves for the start resume; no separate init event.
         sim._sequence += 1
-        heappush(sim._heap, (sim.now, sim._sequence, self))
+        sim._nq.append(self)
 
     @property
     def is_alive(self) -> bool:
@@ -334,12 +363,21 @@ class Condition(Event):
 
 
 class Simulator:
-    """The event heap, virtual clock and process factory."""
+    """The event queue, virtual clock and process factory."""
 
-    def __init__(self):
+    def __init__(self, scheduler: str = "calendar"):
         self.now: float = 0.0
-        self._heap: List = []
         self._sequence = 0
+        # Future events, ordered by (time, sequence); pluggable structure.
+        self._queue = make_scheduler(scheduler)
+        self._qpush = self._queue.push
+        # Shadow the `timeout` method with a bound constructor: timeouts
+        # are the most-created event kind and the factory-call frame is
+        # measurable at campus scale.  Signature is unchanged.
+        self.timeout = partial(Timeout, self)
+        # Events due at exactly `now`: same-timestamp cascades dispatch
+        # FIFO from this deque without touching the time-ordered queue.
+        self._nq: deque = deque()
         self._orphan_failures: List[Event] = []
         self.active_process: Optional[Process] = None
         # Observability hooks (deferred import: obs builds on sim).  The
@@ -350,6 +388,26 @@ class Simulator:
 
         self.tracer = NULL_RECORDER
         self.metrics = MetricsRegistry()
+        self.metrics.counter("sim.kernel.events", lambda: self._sequence)
+        self.metrics.counter(
+            "sim.kernel.cascade_events",
+            lambda: self._sequence - self._queue.pushes,
+        )
+        self.metrics.gauge("sim.kernel.pending", lambda: self.pending)
+        self.metrics.gauge("sim.kernel.queue", self._queue.stats)
+
+    @property
+    def pending(self) -> int:
+        """Events waiting to fire (scheduled plus same-instant cascade)."""
+        return len(self._queue) + len(self._nq)
+
+    @property
+    def scheduler_stats(self) -> dict:
+        """The live scheduler's occupancy/resize/dead-event statistics."""
+        stats = dict(self._queue.stats())
+        stats["cascade_events"] = self._sequence - self._queue.pushes
+        stats["events"] = self._sequence
+        return stats
 
     # -- factories ----------------------------------------------------------
 
@@ -377,7 +435,11 @@ class Simulator:
 
     def _schedule(self, event: Event, delay: float) -> None:
         self._sequence += 1
-        heappush(self._heap, (self.now + delay, self._sequence, event))
+        when = self.now + delay
+        if when > self.now:
+            self._qpush(when, self._sequence, event)
+        else:
+            self._nq.append(event)
 
     def _raise_orphans(self) -> None:
         """Raise the first orphaned failure; never silently drop the rest."""
@@ -397,39 +459,48 @@ class Simulator:
 
     def step(self) -> None:
         """Process the single next event; raises orphaned process failures."""
-        when, _seq, event = heappop(self._heap)
-        self.now = when
+        nq = self._nq
+        if nq:
+            event = nq.popleft()
+        else:
+            entry = self._queue.pop_due(None, nq)
+            if entry is None:
+                raise IndexError("step() on an empty event queue")
+            self.now = entry[0]
+            event = entry[2]
         if not event._cancelled:
             event._process()
         if self._orphan_failures:
             self._raise_orphans()
 
     def run(self, until: Optional[float] = None) -> None:
-        """Run until the heap empties or the clock passes ``until``."""
-        heap = self._heap
+        """Run until the queue empties or the clock passes ``until``."""
+        nq = self._nq
+        popleft = nq.popleft
+        pop_due = self._queue.pop_due
         orphans = self._orphan_failures
-        if until is None:
-            while heap:
-                when, _seq, event = heappop(heap)
-                self.now = when
+        while True:
+            while nq:
+                event = popleft()
                 if event._cancelled:
                     continue
                 event._process()
                 if orphans:
                     self._raise_orphans()
-            return
-        while heap:
-            if heap[0][0] > until:
-                self.now = until
-                return
-            when, _seq, event = heappop(heap)
-            self.now = when
+            entry = pop_due(until, nq)
+            if entry is None:
+                break
+            self.now = entry[0]
+            event = entry[2]
             if event._cancelled:
                 continue
             event._process()
             if orphans:
                 self._raise_orphans()
-        if self.now < until:
+        if until is not None and self.now < until:
+            # Queue empty or next event past the horizon (it stays
+            # scheduled, sequence intact): park the clock exactly at the
+            # horizon either way.
             self.now = until
 
     def run_until_complete(self, event: Event, limit: float = float("inf")) -> Any:
@@ -440,17 +511,26 @@ class Simulator:
         done.  ``limit`` bounds runaway simulations.
         """
         event.defuse()
-        heap = self._heap
+        nq = self._nq
+        popleft = nq.popleft
+        pop_due = self._queue.pop_due
         orphans = self._orphan_failures
         while event.callbacks is not None:
-            if not heap:
-                raise SimulationError(
-                    f"event heap drained at t={self.now} before event fired"
-                )
-            if heap[0][0] > limit:
-                raise SimulationError(f"simulation exceeded time limit {limit}")
-            when, _seq, popped = heappop(heap)
-            self.now = when
+            if nq:
+                popped = popleft()
+            else:
+                entry = pop_due(limit, nq)
+                if entry is None:
+                    if len(self._queue):
+                        # The next event is past the limit; it stays queued.
+                        raise SimulationError(
+                            f"simulation exceeded time limit {limit}"
+                        )
+                    raise SimulationError(
+                        f"event heap drained at t={self.now} before event fired"
+                    )
+                self.now = entry[0]
+                popped = entry[2]
             if popped._cancelled:
                 continue
             popped._process()
@@ -459,4 +539,4 @@ class Simulator:
         return event.value
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Simulator t={self.now:.6f} pending={len(self._heap)}>"
+        return f"<Simulator t={self.now:.6f} pending={self.pending}>"

@@ -70,13 +70,17 @@ class Resource:
         # Claims granted through the handle-free fast path (try_claim);
         # counted, not stored — there is no Request object to remember.
         self._anon = 0
+        # Invariant: _in_use == len(_users) + _anon.  Maintained
+        # incrementally because claim/release is the hottest non-kernel
+        # path in a campus run (~1M len() calls otherwise).
+        self._in_use = 0
         self.utilization = UtilizationTracker(sim, capacity=capacity, name=name)
         self.total_requests = 0
 
     @property
     def in_use(self) -> int:
         """Number of currently granted claims."""
-        return len(self._users) + self._anon
+        return self._in_use
 
     @property
     def queue_length(self) -> int:
@@ -93,13 +97,14 @@ class Resource:
         """
         self.total_requests += 1
         request = Request(self)
-        if len(self._users) + self._anon < self.capacity:
+        if self._in_use < self.capacity:
             # Fast path: mark the event triggered-and-processed in place.
             request._triggered = True
             request._value = self
             request.callbacks = None
             self._users.append(request)
-            self.utilization.record(len(self._users) + self._anon)
+            self._in_use += 1
+            self.utilization.record(self._in_use)
         else:
             self._queue.append(request)
         return request
@@ -112,19 +117,21 @@ class Resource:
         Request event object is pure allocation churn.  A successful
         try_claim MUST be paired with :meth:`release_anon`.
         """
-        users = len(self._users) + self._anon
-        if users >= self.capacity:
+        in_use = self._in_use
+        if in_use >= self.capacity:
             return False
         self.total_requests += 1
         self._anon += 1
-        self.utilization.record(users + 1)
+        self._in_use = in_use + 1
+        self.utilization.record(in_use + 1)
         return True
 
     def release_anon(self) -> None:
         """Return a :meth:`try_claim` claim and wake the next waiter."""
         self._anon -= 1
-        self.utilization.record(len(self._users) + self._anon)
-        while self._queue and len(self._users) + self._anon < self.capacity:
+        self._in_use -= 1
+        self.utilization.record(self._in_use)
+        while self._queue and self._in_use < self.capacity:
             self._grant(self._queue.popleft())
 
     def release(self, request: Request) -> None:
@@ -138,8 +145,9 @@ class Resource:
                 return
             except ValueError:
                 raise SimulationError("release of a request this resource never granted")
-        self.utilization.record(len(self._users) + self._anon)
-        while self._queue and len(self._users) + self._anon < self.capacity:
+        self._in_use -= 1
+        self.utilization.record(self._in_use)
+        while self._queue and self._in_use < self.capacity:
             self._grant(self._queue.popleft())
 
     def use(self, duration: float) -> Generator[Event, Any, None]:
@@ -162,7 +170,8 @@ class Resource:
 
     def _grant(self, request: Request) -> None:
         self._users.append(request)
-        self.utilization.record(len(self._users) + self._anon)
+        self._in_use += 1
+        self.utilization.record(self._in_use)
         request.succeed(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

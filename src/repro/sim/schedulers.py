@@ -1,0 +1,488 @@
+"""Pluggable event queues for the simulation kernel.
+
+The kernel orders events by ``(time, creation-sequence)``.  How that order
+is *stored* is a pluggable choice, selected through
+``Simulator(scheduler=...)`` / ``SystemConfig.scheduler``:
+
+* :class:`HeapScheduler` — the original single binary heap (``heapq``).
+  Kept as the reference oracle: its behavior is trivially correct, so the
+  equivalence suite runs every workload against it.
+* :class:`CalendarQueue` — a self-resizing bucketed time wheel (Brown's
+  calendar queue).  Insert and extract are O(1) amortized when event times
+  are roughly uniform — the textbook profile of a discrete-event campus,
+  where service times cluster around a handful of cost constants.
+
+Both speak the same narrow interface, shaped by the kernel's hot loop:
+
+* ``push(when, seq, event)`` — schedule; ``when`` is strictly greater than
+  the clock (at-now events bypass the queue entirely via the kernel's
+  cascade deque).
+* ``pop()`` — remove and return the least ``(when, seq, event)`` entry, or
+  ``None`` when empty.
+* ``pop_batch(when, out)`` — drain every remaining entry at exactly
+  ``when`` (the timestamp just popped) into ``out`` in sequence order.
+  This is the same-timestamp cohort the kernel dispatches without
+  re-touching the queue.
+* ``pop_due(until, out)`` — the fused hot-loop form: pop the earliest
+  entry *if* it is due by ``until`` (``None`` = no horizon), drain its
+  same-timestamp cohort into ``out``, and return the entry.  Returns
+  ``None`` when the queue is empty or the next entry is past the horizon
+  (in which case it stays queued, sequence intact) — one Python call per
+  dispatched timestamp instead of three.
+* ``requeue(entry)`` — put back the entry just popped (the ``run(until=)``
+  horizon overshoot path); sequence numbers are preserved.
+* ``note_cancel()`` — a queued event was lazily cancelled; once enough
+  dead entries accumulate the queue compacts itself so cancel-heavy
+  workloads (RPC retransmit timers) stay bounded.
+
+Entries are ``(when, seq, event)`` tuples in both implementations, so the
+orderings — and therefore every seeded virtual output — are identical.
+"""
+
+from __future__ import annotations
+
+from heapq import heapify, heappop, heappush, nsmallest
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["HeapScheduler", "CalendarQueue", "make_scheduler", "SCHEDULERS"]
+
+Entry = Tuple[float, int, Any]
+
+# Compact once at least this many cancelled entries linger *and* they are
+# at least half the queue: small queues tolerate a few corpses, churny
+# ones (a retransmit timer per RPC, almost always cancelled) stay bounded.
+_COMPACT_MIN_DEAD = 64
+
+
+class HeapScheduler:
+    """The reference scheduler: one binary heap of ``(when, seq, event)``."""
+
+    name = "heap"
+
+    __slots__ = ("_heap", "pushes", "dead", "compactions")
+
+    def __init__(self):
+        self._heap: List[Entry] = []
+        self.pushes = 0
+        self.dead = 0
+        self.compactions = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def peek_time(self) -> Optional[float]:
+        """The next entry's timestamp, or None when empty."""
+        heap = self._heap
+        return heap[0][0] if heap else None
+
+    def push(self, when: float, seq: int, event: Any) -> None:
+        self.pushes += 1
+        heappush(self._heap, (when, seq, event))
+
+    def requeue(self, entry: Entry) -> None:
+        heappush(self._heap, entry)
+
+    def pop(self) -> Optional[Entry]:
+        heap = self._heap
+        if not heap:
+            return None
+        return heappop(heap)
+
+    def pop_batch(self, when: float, out) -> None:
+        heap = self._heap
+        while heap and heap[0][0] == when:
+            out.append(heappop(heap)[2])
+
+    def pop_due(self, until: Optional[float], out) -> Optional[Entry]:
+        heap = self._heap
+        if not heap:
+            return None
+        entry = heap[0]
+        when = entry[0]
+        if until is not None and when > until:
+            return None
+        heappop(heap)
+        while heap and heap[0][0] == when:
+            out.append(heappop(heap)[2])
+        return entry
+
+    def note_cancel(self) -> None:
+        self.dead += 1
+        if self.dead >= _COMPACT_MIN_DEAD and self.dead * 2 >= len(self._heap):
+            self.compact()
+
+    def compact(self) -> None:
+        """Drop lazily-cancelled entries and re-heapify."""
+        self._heap = [e for e in self._heap if not e[2]._cancelled]
+        heapify(self._heap)
+        self.dead = 0
+        self.compactions += 1
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "scheduler": self.name,
+            "pending": len(self._heap),
+            "pushes": self.pushes,
+            "dead": self.dead,
+            "compactions": self.compactions,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<HeapScheduler pending={len(self._heap)} dead={self.dead}>"
+
+
+class CalendarQueue:
+    """A self-resizing calendar queue (bucketed time wheel).
+
+    Design notes (see ``docs/performance.md`` for the operator's view):
+
+    * Time is quantized into *virtual buckets* of ``width`` seconds; an
+      entry's virtual bucket is ``evb = int(when * inv_width)``, and it
+      lives in slot ``evb & mask`` of a power-of-two bucket array.  All
+      ordering decisions compare integer virtual-bucket numbers computed
+      by that same expression, so float rounding at bucket boundaries can
+      never disagree between insert and extract.
+    * A scan cursor ``_vb`` walks virtual buckets; ``pop`` returns the
+      minimum entry of the first slot whose minimum is due
+      (``evb <= _vb``).  Every pending entry satisfies ``evb >= _vb``
+      because pushed times are strictly in the future, so the first due
+      slot holds the global minimum.
+    * Entries more than one wheel revolution ahead go to an *overflow
+      heap* instead of a slot, keeping near-term scans lean even when the
+      event-time distribution is bimodal (millisecond service times next
+      to minute-scale user think timers).  The scan migrates overflow into
+      the wheel lazily — popping only the entries that became due-soon —
+      when the cursor reaches the earliest overflow bucket.  If a full
+      revolution finds nothing due (a big idle gap), the queue realigns on
+      the global minimum instead of spinning.
+    * The wheel resizes (doubling/halving the slot array and re-deriving
+      ``width`` from the inter-event gaps of the *soonest* pending entries,
+      the region the scan actually walks) when the population outgrows or
+      vacates it; resizes are counted and surfaced through ``stats()``.
+    """
+
+    name = "calendar"
+
+    MIN_BUCKETS = 32
+
+    __slots__ = ("_width", "_inv_width", "_nbuckets", "_mask", "_buckets",
+                 "_count", "_vb", "_overflow", "_overflow_min_vb",
+                 "_horizon_vb", "_grow_at", "_shrink_at",
+                 "pushes", "dead", "compactions", "resizes")
+
+    def __init__(self, width: float = 0.005):
+        self._nbuckets = self.MIN_BUCKETS
+        self._mask = self._nbuckets - 1
+        self._width = width
+        self._inv_width = 1.0 / width
+        self._buckets: List[List[Entry]] = [[] for _ in range(self._nbuckets)]
+        self._count = 0
+        self._vb = 0                      # scan cursor, in virtual buckets
+        self._overflow: List[Entry] = []  # heap of entries beyond _horizon_vb
+        self._overflow_min_vb = -1        # evb of the overflow top (-1: empty)
+        self._horizon_vb = self._nbuckets
+        self._grow_at = self._nbuckets * 2
+        self._shrink_at = -1              # never shrink below MIN_BUCKETS
+        self.pushes = 0
+        self.dead = 0
+        self.compactions = 0
+        self.resizes = 0
+
+    def __len__(self) -> int:
+        return self._count + len(self._overflow)
+
+    # -- insert -----------------------------------------------------------
+
+    def push(self, when: float, seq: int, event: Any) -> None:
+        # _insert, hand-inlined: push runs a couple hundred thousand times
+        # per campus run and the extra call frame is measurable.
+        self.pushes += 1
+        evb = int(when * self._inv_width)
+        if evb >= self._horizon_vb:
+            heappush(self._overflow, (when, seq, event))
+            if self._overflow_min_vb < 0 or evb < self._overflow_min_vb:
+                self._overflow_min_vb = evb
+            return
+        self._buckets[evb & self._mask].append((when, seq, event))
+        self._count += 1
+        if evb < self._vb:
+            self._vb = evb
+        if self._count > self._grow_at:
+            self._resize(self._nbuckets * 2)
+
+    def requeue(self, entry: Entry) -> None:
+        self._insert(entry)
+
+    def _insert(self, entry: Entry) -> None:
+        evb = int(entry[0] * self._inv_width)
+        if evb >= self._horizon_vb:
+            heappush(self._overflow, entry)
+            if self._overflow_min_vb < 0 or evb < self._overflow_min_vb:
+                self._overflow_min_vb = evb
+            return
+        self._buckets[evb & self._mask].append(entry)
+        self._count += 1
+        if evb < self._vb:
+            # Due earlier than the scan cursor (a short delay pushed right
+            # after the cursor coasted past empty slots): rewind, cheaply.
+            self._vb = evb
+        if self._count > self._grow_at:
+            self._resize(self._nbuckets * 2)
+
+    # -- extract ----------------------------------------------------------
+
+    def peek_time(self) -> Optional[float]:
+        """The next entry's timestamp, or None when empty (O(n) scan)."""
+        entry = self.pop()
+        if entry is None:
+            return None
+        self.requeue(entry)
+        return entry[0]
+
+    def pop(self) -> Optional[Entry]:
+        if not self._count:
+            if not self._overflow:
+                return None
+            self._realign()
+        while True:
+            # Maintenance (migrate/realign) can resize the wheel, which
+            # invalidates every cached local — the outer loop re-reads them.
+            buckets = self._buckets
+            mask = self._mask
+            inv_width = self._inv_width
+            overflow_min = self._overflow_min_vb
+            nbuckets = self._nbuckets
+            vb = self._vb
+            scanned = 0
+            while True:
+                if overflow_min >= 0 and vb >= overflow_min:
+                    # The cursor reached the earliest overflow bucket: pull
+                    # the next revolution's worth of overflow into the wheel.
+                    self._vb = vb
+                    self._migrate(vb + nbuckets)
+                    break
+                slot = buckets[vb & mask]
+                if slot:
+                    best = min(slot)
+                    if int(best[0] * inv_width) <= vb:
+                        slot.remove(best)
+                        self._count -= 1
+                        self._vb = vb
+                        if self._count < self._shrink_at:
+                            self._resize(self._nbuckets // 2)
+                        return best
+                vb += 1
+                scanned += 1
+                if scanned > nbuckets:
+                    # A full revolution with nothing due: the next event is
+                    # a year+ away.  Jump straight to the global minimum.
+                    self._realign()
+                    break
+
+    def pop_batch(self, when: float, out) -> None:
+        """Drain the rest of the ``when`` cohort in sequence order.
+
+        The caller just popped an entry at ``when``, so its bucket is fully
+        migrated; every remaining same-timestamp entry shares its virtual
+        bucket (the slot is recomputed from ``when`` — the cursor may have
+        moved if that pop triggered a resize)."""
+        slot = self._buckets[int(when * self._inv_width) & self._mask]
+        while slot:
+            best = min(slot)
+            if best[0] != when:
+                return
+            slot.remove(best)
+            self._count -= 1
+            out.append(best[2])
+
+    def pop_due(self, until: Optional[float], out) -> Optional[Entry]:
+        # The fused hot path: one frame for scan + horizon check + cohort
+        # drain.  Mirrors pop(), but the same-timestamp cohort comes out of
+        # the slot already in hand, and a not-yet-due minimum is simply
+        # left in place (the cursor parks on its bucket) instead of the
+        # pop-then-requeue dance.
+        if not self._count:
+            if not self._overflow:
+                return None
+            self._realign()
+        while True:
+            buckets = self._buckets
+            mask = self._mask
+            inv_width = self._inv_width
+            overflow_min = self._overflow_min_vb
+            nbuckets = self._nbuckets
+            vb = self._vb
+            scanned = 0
+            while True:
+                if overflow_min >= 0 and vb >= overflow_min:
+                    self._vb = vb
+                    self._migrate(vb + nbuckets)
+                    break
+                slot = buckets[vb & mask]
+                if slot:
+                    best = min(slot)
+                    when = best[0]
+                    if int(when * inv_width) <= vb:
+                        self._vb = vb
+                        if until is not None and when > until:
+                            return None
+                        slot.remove(best)
+                        count = self._count - 1
+                        while slot:
+                            nxt = min(slot)
+                            if nxt[0] != when:
+                                break
+                            slot.remove(nxt)
+                            count -= 1
+                            out.append(nxt[2])
+                        self._count = count
+                        if count < self._shrink_at:
+                            self._resize(self._nbuckets // 2)
+                        return best
+                vb += 1
+                scanned += 1
+                if scanned > nbuckets:
+                    self._realign()
+                    break
+
+    # -- maintenance ------------------------------------------------------
+
+    def _migrate(self, horizon_vb: int) -> None:
+        """Move overflow entries with ``evb < horizon_vb`` into the wheel.
+
+        The overflow is a heap ordered by ``(when, seq)``, so only the
+        entries that actually became due-soon are popped — the far tail is
+        never rescanned."""
+        self._horizon_vb = horizon_vb
+        overflow = self._overflow
+        buckets = self._buckets
+        mask = self._mask
+        inv_width = self._inv_width
+        moved = 0
+        while overflow:
+            evb = int(overflow[0][0] * inv_width)
+            if evb >= horizon_vb:
+                break
+            buckets[evb & mask].append(heappop(overflow))
+            moved += 1
+        self._overflow_min_vb = (
+            int(overflow[0][0] * inv_width) if overflow else -1
+        )
+        self._count += moved
+        if self._count > self._grow_at:
+            self._resize(self._nbuckets * 2)
+
+    def _realign(self) -> None:
+        """Jump the cursor to the global minimum entry's bucket."""
+        best_vb = self._overflow_min_vb if self._overflow else -1
+        inv_width = self._inv_width
+        for slot in self._buckets:
+            if slot:
+                evb = int(min(slot)[0] * inv_width)
+                if best_vb < 0 or evb < best_vb:
+                    best_vb = evb
+        if best_vb < 0:
+            return
+        self._vb = best_vb
+        self._migrate(best_vb + self._nbuckets)
+
+    def _entries(self) -> List[Entry]:
+        flat: List[Entry] = []
+        for slot in self._buckets:
+            flat.extend(slot)
+        flat.extend(self._overflow)
+        return flat
+
+    def _resize(self, nbuckets: int) -> None:
+        entries = self._entries()
+        self.resizes += 1
+        self._rebuild(entries, max(self.MIN_BUCKETS, nbuckets))
+
+    def _rebuild(self, entries: List[Entry], nbuckets: int) -> None:
+        self._nbuckets = nbuckets
+        self._mask = nbuckets - 1
+        self._grow_at = nbuckets * 2
+        self._shrink_at = nbuckets // 8 if nbuckets > self.MIN_BUCKETS else -1
+        self._width = self._pick_width(entries)
+        self._inv_width = 1.0 / self._width
+        self._buckets = [[] for _ in range(nbuckets)]
+        self._count = 0
+        self._overflow = []
+        self._overflow_min_vb = -1
+        if entries:
+            inv_width = self._inv_width
+            self._vb = min(int(e[0] * inv_width) for e in entries)
+        self._horizon_vb = self._vb + nbuckets
+        for entry in entries:
+            self._insert(entry)
+
+    def _pick_width(self, entries: List[Entry]) -> float:
+        """Bucket width from the observed event-time distribution.
+
+        Brown's heuristic, deterministic, applied where it matters: the
+        scan only ever walks the *soonest* region of the timeline (far
+        entries wait in the overflow heap), so the width comes from the
+        mean inter-event gap of the soonest pending timestamps.  Sampling
+        the whole population instead would blend millisecond service
+        events with minute-scale user think timers and produce buckets so
+        wide every pop degenerates to a linear scan of one giant slot.
+        Falls back to the current width when the sample is degenerate
+        (all one timestamp, near-empty queue).
+        """
+        if len(entries) < 2:
+            return self._width
+        sample = [e[0] for e in nsmallest(64, entries)]
+        gaps = [b - a for a, b in zip(sample, sample[1:]) if b > a]
+        if not gaps:
+            return self._width
+        width = 2.0 * (sum(gaps) / len(gaps))
+        # Clamp to something sane: sub-nanosecond widths make evb overflow
+        # useful ranges; day-long widths degenerate to one bucket.
+        return min(max(width, 1e-9), 86_400.0)
+
+    def note_cancel(self) -> None:
+        self.dead += 1
+        if self.dead >= _COMPACT_MIN_DEAD and self.dead * 2 >= len(self):
+            self.compact()
+
+    def compact(self) -> None:
+        """Drop lazily-cancelled entries wherever they sit."""
+        entries = [e for e in self._entries() if not e[2]._cancelled]
+        self._rebuild(entries, self._nbuckets)
+        self.dead = 0
+        self.compactions += 1
+
+    def stats(self) -> Dict[str, Any]:
+        occupied = sum(1 for slot in self._buckets if slot)
+        return {
+            "scheduler": self.name,
+            "pending": len(self),
+            "pushes": self.pushes,
+            "buckets": self._nbuckets,
+            "bucket_width": self._width,
+            "occupied_buckets": occupied,
+            "overflow": len(self._overflow),
+            "resizes": self.resizes,
+            "dead": self.dead,
+            "compactions": self.compactions,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<CalendarQueue pending={len(self)} buckets={self._nbuckets}"
+                f" width={self._width:.6g} overflow={len(self._overflow)}>")
+
+
+SCHEDULERS = {
+    "heap": HeapScheduler,
+    "calendar": CalendarQueue,
+}
+
+
+def make_scheduler(name: str):
+    """Instantiate a scheduler by config name ('calendar' or 'heap')."""
+    try:
+        return SCHEDULERS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; choose from {sorted(SCHEDULERS)}"
+        ) from None

@@ -26,6 +26,10 @@ class SystemConfig:
 
     # Which implementation (see repro.vice.server.ViceServer's table).
     mode: str = "revised"
+    # Event-kernel scheduler: "calendar" (bucketed time wheel, the default)
+    # or "heap" (the original binary heap, kept as the reference oracle).
+    # Both produce byte-identical virtual outputs; see docs/performance.md.
+    scheduler: str = "calendar"
     # Cache-validation policy; None derives the mode's default
     # (prototype -> check-on-open, revised -> callback).
     validation: Optional[str] = None

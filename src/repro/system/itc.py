@@ -50,7 +50,7 @@ class ITCSystem:
 
     def __init__(self, config: Optional[SystemConfig] = None):
         self.config = config or SystemConfig()
-        self.sim = Simulator()
+        self.sim = Simulator(scheduler=self.config.scheduler)
         self.rng = WorkloadRandom(self.config.seed)
         self.service_key = derive_user_key("vice", "itc-internal-service-key")
         self.network = build_network(self.sim, self.config)
