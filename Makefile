@@ -1,12 +1,12 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test bench-smoke campus-smoke metropolis-smoke chaos-smoke trace-smoke bench results
+.PHONY: check test bench-smoke campus-smoke metropolis-smoke chaos-smoke soak-smoke trace-smoke bench results
 
 # Tier-1 gate: the full test suite plus the wall-clock time budgets.
 # A >2x wall-clock regression in the kernel, cipher or the end-to-end
 # campus path fails the corresponding smoke target.
-check: test bench-smoke campus-smoke metropolis-smoke chaos-smoke
+check: test bench-smoke campus-smoke metropolis-smoke chaos-smoke soak-smoke
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -32,6 +32,16 @@ chaos-smoke:
 	$(PYTHON) benchmarks/bench_availability.py --smoke \
 		--json benchmarks/results/chaos-smoke.json \
 		--timeline benchmarks/results/outage-timeline.json
+
+# Six virtual hours at 200 workstations under chaos, every soak invariant
+# checked per window, plus the sabotaged negative control; fails on any
+# violation, a missed sabotage, or a blown wall budget.
+soak-smoke:
+	mkdir -p benchmarks/results
+	$(PYTHON) benchmarks/bench_soak.py --smoke \
+		--json benchmarks/results/soak-smoke.json \
+		--metrics benchmarks/results/soak-metrics.jsonl \
+		--events benchmarks/results/soak-events.jsonl
 
 # Run a short traced Andrew benchmark and validate the trace covers
 # open -> RPC -> server -> disk for at least one fetch and one store.

@@ -45,6 +45,8 @@ from bench_encryption import run_mode
 from bench_kernel import run_microbenchmarks
 from bench_metropolis import SMOKE_SCALES, run_metropolis_benchmark
 from bench_scalability import run_concurrent
+from bench_soak import TRACKED_SHAPE as SOAK_TRACKED_SHAPE
+from bench_soak import run_soak_benchmark
 
 # Paper-facing operation categories (§5.2 Table) -> RPC procedures, both
 # protocol families.  Latency comes from the rpc.<host>.latency.<proc>
@@ -171,6 +173,11 @@ def collect() -> dict:
     report["availability"] = run_availability_benchmark(
         AVAIL_SMOKE_SHAPE, full=False
     )
+    print("soak (invariant-checked chaos run, tracked shape)...")
+    # The continuous-soak gate at the tracked shape: records soak events/s
+    # and per-window snapshot overhead; the six-hour acceptance shape is
+    # bench_soak --smoke (make soak-smoke).
+    report["soak"] = run_soak_benchmark(SOAK_TRACKED_SHAPE)
     print("op latency (revised remote Andrew)...")
     report["op_latency"] = bench_op_latency()
     print("microbenchmarks...")
@@ -233,6 +240,18 @@ def summarize(report: dict) -> str:
                 f"  outages {row['outages']:<3d}"
                 f" MTTR p50 {mttr['p50']:6.1f}s p90 {mttr['p90']:6.1f}s"
             )
+    if report.get("soak"):
+        soak = report["soak"]
+        overhead = soak["snapshot_overhead_us"]
+        lines.append(
+            f"soak ({soak['shape']['workstations']} ws, "
+            f"{soak['shape']['virtual_hours']:.1f} virtual h, chaos on): "
+            f"wall {soak['soak_wall_seconds']:.2f} s"
+            f"  {soak['events_per_second']:,} events/s"
+            f"  snapshot {overhead['mean']:.0f} us mean"
+            f"  violations {len(soak['violations'])}"
+            f"  negative test {'caught' if soak['negative_test_caught'] else 'MISSED'}"
+        )
     if report.get("op_latency"):
         lines.append("op latency, virtual ms (revised remote Andrew):")
         for category, stats in report["op_latency"].items():

@@ -11,7 +11,14 @@ Small, self-contained demonstrations of the reproduced system:
   random chaos), reporting availability, MTTR and the outage timeline;
 * ``trace``    — a traced benchmark run exported as a Chrome-trace file;
 * ``profile``  — a cProfile'd workload: wall-clock hot spots printed next
-  to the simulation's cache counters (see ``docs/performance.md``).
+  to the simulation's cache counters (see ``docs/performance.md``);
+* ``console``  — the live ops console: a campus day rendered as a curses
+  dashboard with pause/step/pacing control and interactive fault
+  injection (``--headless`` renders plain-text frames instead);
+* ``soak``     — the continuous soak driver: hours-to-days of virtual
+  time under diurnal load and chaos faults, rolling metrics and ops
+  events streamed to JSONL, soak invariants asserted per window (exit
+  code 1 on any violation).
 
 ``andrew`` and ``status`` accept ``--trace FILE`` (write a Perfetto-loadable
 trace of the run) and ``--metrics-json FILE`` (dump the campus metrics
@@ -26,16 +33,49 @@ import sys
 
 from repro import ITCSystem, SystemConfig, __version__
 from repro.analysis import Table, campus_report, format_share
-from repro.analysis.dashboard import availability_report
+from repro.analysis.dashboard import availability_report, hotspot_report
 from repro.faults import PRESETS, FaultPlan
-from repro.obs import TraceRecorder, validate_coverage
+from repro.obs import RollingAggregator, TraceRecorder, validate_coverage
 from repro.workload import (
     AndrewBenchmark,
     PHASES,
+    launch_campus_day,
     make_source_tree,
     provision_campus,
     run_campus_day,
 )
+
+
+def _rolling_flags(command) -> None:
+    """The shared ``--window`` / ``--top`` rolling-aggregator flags."""
+    command.add_argument("--window", type=float, default=0.0, metavar="SECONDS",
+                        help="sample rolling metrics windows every SECONDS of "
+                             "virtual time (0 = off)")
+    command.add_argument("--top", type=int, default=0, metavar="N",
+                        help="print the top-N hot volumes/users/servers from "
+                             "the rolling windows (0 = off)")
+
+
+def _install_rolling(args, campus):
+    """Attach a sampling RollingAggregator when --window/--top asked for one."""
+    if args.window <= 0 and args.top <= 0:
+        return None
+    every = args.window if args.window > 0 else 300.0
+    aggregator = RollingAggregator(campus.metrics)
+    aggregator.install_sampler(campus.sim, every)
+    return aggregator
+
+
+def _finish_rolling(args, aggregator) -> None:
+    """Print the hotspot tables the rolling windows accumulated."""
+    if aggregator is None:
+        return
+    print()
+    print(hotspot_report(aggregator, args.top if args.top > 0 else 5))
+    overhead = aggregator.overhead_us
+    print(f"\nrolling windows: {len(aggregator.windows)} sampled, snapshot "
+          f"overhead mean {overhead.mean:.0f}us p99 "
+          f"{overhead.percentile(0.99):.0f}us")
 
 
 def cmd_info(_args) -> int:
@@ -205,6 +245,7 @@ def cmd_chaos(args) -> int:
     )
     if args.trace:
         _attach_recorder(args, campus)
+    aggregator = _install_rolling(args, campus)
     users = provision_campus(campus, hot_files=8, cold_files=8,
                              shared_files=8, binary_files=6)
     print(f"running {len(users)} users for {args.duration:.0f}s "
@@ -226,6 +267,7 @@ def cmd_chaos(args) -> int:
     if args.timeline:
         count = campus.availability.write_timeline(args.timeline)
         print(f"timeline: {count} events -> {args.timeline}")
+    _finish_rolling(args, aggregator)
     _finish_obs(args, campus)
     return 0
 
@@ -237,6 +279,7 @@ def cmd_profile(args) -> int:
     import pstats
 
     profiler = cProfile.Profile()
+    aggregator = None
     if args.workload == "andrew":
         print("profiling: andrew benchmark (remote, revised mode) ...")
         profiler.enable()
@@ -249,6 +292,9 @@ def cmd_profile(args) -> int:
                          workstations_per_cluster=args.workstations,
                          functional_payload_crypto=False)
         )
+        if args.window > 0:
+            aggregator = RollingAggregator(campus.metrics)
+            aggregator.install_sampler(campus.sim, args.window)
         with campus.batch_setup():
             users = provision_campus(campus, hot_files=8, cold_files=8,
                                      shared_files=8, binary_files=6)
@@ -300,7 +346,74 @@ def cmd_profile(args) -> int:
     queue_rows.add("dead (uncompacted)", stats["dead"])
     queue_rows.add("compactions", stats["compactions"])
     print(queue_rows)
+
+    # --window: the rolling-window hotspot view of the same run, so "which
+    # volume/user is hot" sits next to "which function is hot".
+    if aggregator is not None:
+        print()
+        print(hotspot_report(aggregator, args.top))
+        overhead = aggregator.overhead_us
+        print(f"\nrolling windows: {len(aggregator.windows)} sampled, snapshot "
+              f"overhead mean {overhead.mean:.0f}us p99 "
+              f"{overhead.percentile(0.99):.0f}us")
     return 0
+
+
+def cmd_console(args) -> int:
+    """Run the live ops console over a fresh campus day."""
+    from repro.console import ConsoleModel, run_console, run_headless
+    from repro.obs.live import OpsEventStream, SimulationController
+
+    campus = ITCSystem(
+        SystemConfig(mode="revised", clusters=args.clusters,
+                     workstations_per_cluster=args.workstations,
+                     functional_payload_crypto=False)
+    )
+    users = provision_campus(campus, hot_files=8, cold_files=8,
+                             shared_files=8, binary_files=6)
+    horizon = campus.sim.now + args.hours * 3600.0
+    launch_campus_day(campus, users, args.hours * 3600.0)
+    controller = SimulationController(campus.sim, pacing=args.pacing)
+    stream = OpsEventStream(campus.sim, path=args.events or None)
+    model = ConsoleModel(campus, controller, stream=stream,
+                         sample_every=args.sample_every)
+    # Fault controls created the availability tracker; route every user's
+    # operation outcomes through it so outages reach the banner/stream.
+    for user in users:
+        user.tracker = campus.availability
+    try:
+        if args.headless:
+            return run_headless(model, frames=args.frames,
+                                print_frames=args.print_frames)
+        return run_console(model, horizon=horizon)
+    finally:
+        stream.close()
+
+
+def cmd_soak(args) -> int:
+    """Run the soak driver; exit 1 on any invariant violation."""
+    from repro.soak import SoakConfig, run_soak
+
+    config = SoakConfig(
+        clusters=args.clusters,
+        workstations_per_cluster=args.workstations,
+        hours=args.hours,
+        window=args.window,
+        warmup=args.warmup,
+        seed=args.seed,
+        chaos_mean_interval=args.chaos_interval,
+        chaos_mean_outage=args.chaos_outage,
+        metrics_path=args.metrics or None,
+        events_path=args.events or None,
+        break_invariant=args.break_invariant,
+    )
+    report = run_soak(config)
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report -> {args.json}")
+    return 1 if report["violations"] else 0
 
 
 def cmd_trace(args) -> int:
@@ -400,7 +513,61 @@ def main(argv=None) -> int:
     chaos.add_argument("--timeline", metavar="FILE", default="",
                        help="write the fault/outage timeline as JSON")
     obs_flags(chaos)
+    _rolling_flags(chaos)
     chaos.set_defaults(func=cmd_chaos)
+
+    console = sub.add_parser(
+        "console", help="live ops console: dashboard + interactive faults"
+    )
+    console.add_argument("--clusters", type=int, default=2,
+                         help="cluster count (default 2)")
+    console.add_argument("--workstations", type=int, default=4,
+                         help="workstations per cluster (default 4)")
+    console.add_argument("--hours", type=float, default=2.0,
+                         help="virtual hours of campus day to run (default 2)")
+    console.add_argument("--pacing", type=float, default=60.0,
+                         help="virtual seconds per wall second (default 60)")
+    console.add_argument("--sample-every", type=float, default=10.0,
+                         help="rolling-window interval, virtual s (default 10)")
+    console.add_argument("--events", metavar="FILE", default="",
+                         help="also write the ops-event stream as JSONL")
+    console.add_argument("--headless", action="store_true",
+                         help="no curses: advance fixed frames, print the last")
+    console.add_argument("--frames", type=int, default=12,
+                         help="--headless: frames to advance (default 12)")
+    console.add_argument("--print-frames", action="store_true",
+                         help="--headless: print every frame, not just the last")
+    console.set_defaults(func=cmd_console)
+
+    soak = sub.add_parser(
+        "soak", help="continuous soak under chaos; invariant-checked windows"
+    )
+    soak.add_argument("--clusters", type=int, default=2,
+                      help="cluster count (default 2)")
+    soak.add_argument("--workstations", type=int, default=10,
+                      help="workstations per cluster (default 10)")
+    soak.add_argument("--hours", type=float, default=6.0,
+                      help="measured virtual hours (default 6)")
+    soak.add_argument("--window", type=float, default=600.0,
+                      help="invariant/metrics window, virtual s (default 600)")
+    soak.add_argument("--warmup", type=float, default=900.0,
+                      help="warm-up virtual seconds (default 900)")
+    soak.add_argument("--seed", type=int, default=0,
+                      help="campus + chaos seed (default 0)")
+    soak.add_argument("--chaos-interval", type=float, default=900.0,
+                      help="mean seconds between chaos faults (default 900)")
+    soak.add_argument("--chaos-outage", type=float, default=60.0,
+                      help="mean chaos fault duration (default 60)")
+    soak.add_argument("--metrics", metavar="FILE", default="",
+                      help="write one rolling window per line as JSONL")
+    soak.add_argument("--events", metavar="FILE", default="",
+                      help="write the ops-event stream as JSONL")
+    soak.add_argument("--json", metavar="FILE", default="",
+                      help="write the final soak report as JSON")
+    soak.add_argument("--break-invariant", action="store_true",
+                      help="sabotage the pending bound (negative test: the "
+                           "run must exit 1)")
+    soak.set_defaults(func=cmd_soak)
 
     profile = sub.add_parser(
         "profile", help="cProfile a workload; hot spots + cache counters"
@@ -421,6 +588,9 @@ def main(argv=None) -> int:
                          help="campus workload: measured virtual seconds (default 120)")
     profile.add_argument("--warmup", type=float, default=30.0,
                          help="campus workload: warm-up virtual seconds (default 30)")
+    profile.add_argument("--window", type=float, default=0.0, metavar="SECONDS",
+                         help="campus workload: sample rolling metrics windows "
+                              "every SECONDS of virtual time (0 = off)")
     profile.set_defaults(func=cmd_profile)
 
     trace = sub.add_parser(

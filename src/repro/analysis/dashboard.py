@@ -13,8 +13,8 @@ from typing import List
 
 from repro.analysis.report import Table, format_share
 
-__all__ = ["availability_report", "campus_report", "server_report",
-           "workstation_report"]
+__all__ = ["availability_report", "campus_report", "hotspot_report",
+           "server_report", "workstation_report"]
 
 
 def server_report(campus, start: float = 0.0) -> Table:
@@ -145,6 +145,29 @@ def availability_report(campus) -> Table:
             f"{durations[-1]:.1f}s" if durations else "—",
         )
     return table
+
+
+def hotspot_report(aggregator, k: int = 5) -> str:
+    """Top-``k`` hot volumes, users and servers from a rolling aggregator.
+
+    Renders :meth:`~repro.obs.live.RollingAggregator.top` over the retained
+    windows — the "which volume do we move tonight?" question §5.2 answers
+    operationally.  Shared by ``repro chaos --top`` / ``repro profile
+    --top`` and the console's hotspot panel.
+    """
+    sections: List[str] = []
+    for field, unit in (("volumes", "bytes"), ("users", "bytes"),
+                        ("servers", "calls")):
+        ranked = aggregator.top(field, k)
+        table = Table([field[:-1], unit, "share"],
+                      title=f"Top {field} ({len(aggregator.windows)} windows)")
+        total = sum(delta for _, delta in ranked) or 1.0
+        for name, delta in ranked:
+            table.add(name, f"{delta:.0f}", format_share(delta / total))
+        if not ranked:
+            table.add("—", "0", format_share(0.0))
+        sections.append(str(table))
+    return "\n\n".join(sections)
 
 
 def campus_report(campus, start: float = 0.0) -> str:

@@ -82,6 +82,11 @@ class AvailabilityTracker:
             "salvages": 0,
         }
         self._events: List[Dict[str, Any]] = []
+        # Optional live subscriber (repro.obs.live.OpsEventStream): called
+        # with one dict per fault/recovery/salvage event and per outage
+        # begin/end.  None (the default) costs one attribute test per
+        # event, zero per ordinary successful operation.
+        self.listener: Optional[Any] = None
 
         metrics = sim.metrics
         metrics.counter("availability.ops", lambda: {
@@ -116,6 +121,11 @@ class AvailabilityTracker:
                 self.mttr.add(episode.duration)
                 self._events.append({"t": episode.start, "event": "outage",
                                      **episode.as_dict()})
+                if self.listener is not None:
+                    self.listener({"t": now, "event": "outage_end",
+                                   "user": user, "start": episode.start,
+                                   "duration": episode.duration,
+                                   "failures": episode.failures})
             if self._awaiting_success:
                 for recovered_at in self._awaiting_success:
                     self.ttfs.add(now - recovered_at)
@@ -126,6 +136,9 @@ class AvailabilityTracker:
             episode = self._open.get(user)
             if episode is None:
                 self._open[user] = OutageEpisode(user, now)
+                if self.listener is not None:
+                    self.listener({"t": now, "event": "outage_begin",
+                                   "user": user})
             else:
                 episode.failures += 1
 
@@ -137,8 +150,11 @@ class AvailabilityTracker:
         if now is None:
             now = self.sim.now
         self.counters["faults_injected"] += 1
-        self._events.append({"t": now, "event": "fault", "kind": kind,
-                             "target": target, **detail})
+        record = {"t": now, "event": "fault", "kind": kind,
+                  "target": target, **detail}
+        self._events.append(record)
+        if self.listener is not None:
+            self.listener(record)
 
     def record_recovery(self, kind: str, target: str,
                         now: Optional[float] = None, **detail) -> None:
@@ -148,8 +164,11 @@ class AvailabilityTracker:
             now = self.sim.now
         self.counters["recoveries"] += 1
         self._awaiting_success.append(now)
-        self._events.append({"t": now, "event": "recovery", "kind": kind,
-                             "target": target, **detail})
+        record = {"t": now, "event": "recovery", "kind": kind,
+                  "target": target, **detail}
+        self._events.append(record)
+        if self.listener is not None:
+            self.listener(record)
 
     def record_salvage(self, target: str, volumes: int,
                        now: Optional[float] = None) -> None:
@@ -157,8 +176,11 @@ class AvailabilityTracker:
         if now is None:
             now = self.sim.now
         self.counters["salvages"] += 1
-        self._events.append({"t": now, "event": "salvage", "target": target,
-                             "volumes": volumes})
+        record = {"t": now, "event": "salvage", "target": target,
+                  "volumes": volumes}
+        self._events.append(record)
+        if self.listener is not None:
+            self.listener(record)
 
     # -- reading -----------------------------------------------------------
 
@@ -166,6 +188,10 @@ class AvailabilityTracker:
     def availability(self) -> float:
         """Fraction of attempted operations that succeeded (1.0 when idle)."""
         return self.successes / self.attempts if self.attempts else 1.0
+
+    def open_episodes(self) -> List[OutageEpisode]:
+        """Outage episodes still open (no success yet), by user order."""
+        return list(self._open.values())
 
     def per_user(self) -> Dict[str, Dict[str, Any]]:
         """Per-user attempts/successes/failures plus derived availability."""

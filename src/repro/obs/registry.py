@@ -86,6 +86,20 @@ class Instrument:
             }
         raise ValueError(f"unknown instrument kind {self.kind!r}")
 
+    def read_safe(self) -> Dict[str, Any]:
+        """Like :meth:`read`, but a dead provider reads as unavailable.
+
+        Providers are closures over live components; after a host crash or
+        a component replacement a closure can dangle (AttributeError on a
+        torn-down object, KeyError on a dropped volume...).  A snapshot of
+        the *whole* campus must not be held hostage by one dead instrument,
+        so the failure is recorded in-band instead of propagating.
+        """
+        try:
+            return self.read()
+        except Exception:
+            return {"type": self.kind, "unavailable": True}
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Instrument {self.kind} {self.name}>"
 
@@ -179,9 +193,14 @@ class MetricsRegistry:
         """Every instrument's current reading, as one JSON-ready dict.
 
         This is the single read surface the dashboard, the CLI's
-        ``--metrics-json`` flag, and the benchmark harness use.
+        ``--metrics-json`` flag, and the benchmark harness use.  An
+        instrument whose provider raises (dead closure after a host crash
+        or component replacement) is reported as
+        ``{"type": <kind>, "unavailable": True}`` rather than poisoning
+        the whole snapshot.
         """
-        return {name: self._instruments[name].read() for name in self.names(prefix)}
+        return {name: self._instruments[name].read_safe()
+                for name in self.names(prefix)}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<MetricsRegistry instruments={len(self._instruments)}>"

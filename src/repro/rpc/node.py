@@ -61,6 +61,12 @@ Handler = Callable[..., Generator]
 _REPLY_CACHE_LIMIT = 128
 _IN_PROGRESS = object()
 
+# Completed replies retained per connection for duplicate suppression; see
+# the eviction note in _serve_call.  128 covers any duplicate that can
+# still be in flight by orders of magnitude while keeping per-connection
+# memory constant over arbitrarily long soak runs.
+_REPLY_CACHE_WINDOW = 128
+
 
 class RpcNode:
     """The RPC endpoint living on one host."""
@@ -564,7 +570,22 @@ class RpcNode:
 
             reply = Envelope(Kind.REPLY, envelope.connection_id, envelope.seq, wire_body, wire_payload,
                              decoded=record if fast else None)
-        self._reply_cache[envelope.connection_id][envelope.seq] = reply
+        cache = self._reply_cache[envelope.connection_id]
+        cache[envelope.seq] = reply
+        # At-most-once needs the cached reply only while a duplicate of this
+        # call can still be in flight — link duplicates arrive within a
+        # handful of datagram latencies, i.e. well inside the next
+        # _REPLY_CACHE_WINDOW calls on the connection.  Evicting completed
+        # replies beyond that window keeps long-lived connections (a soak
+        # run's whole virtual week on one session) bounded instead of
+        # accumulating one envelope per call forever.  In-progress markers
+        # are never evicted; their calls still need duplicate suppression.
+        if len(cache) > _REPLY_CACHE_WINDOW:
+            completed = sorted(
+                seq for seq, entry in cache.items() if entry is not _IN_PROGRESS
+            )
+            for seq in completed[: len(cache) - _REPLY_CACHE_WINDOW]:
+                del cache[seq]
         yield from self._send_reply(reply, source)
 
     def _send_reply(self, envelope: Envelope, destination: str) -> Generator:

@@ -74,6 +74,15 @@ class Samples:
         """The raw observations, in insertion order."""
         return list(self._values)
 
+    def since(self, start: int) -> List[float]:
+        """Observations added at index ``start`` or later (windowed reads).
+
+        The rolling-window aggregator keeps a cursor per bag and reads only
+        the samples added since its last visit, so sampling cost tracks the
+        window's traffic rather than the whole run's history.
+        """
+        return self._values[start:]
+
     @property
     def mean(self) -> float:
         """Arithmetic mean (0.0 when empty)."""

@@ -17,9 +17,11 @@ from repro.workload.filesizes import (
     TEMP_FILE,
     USER_DOCUMENT,
 )
+from repro.workload.diurnal import DiurnalCurve
 from repro.workload.synthetic import (
     SyntheticUser,
     UserProfile,
+    launch_campus_day,
     provision_campus,
     run_campus_day,
 )
@@ -28,6 +30,7 @@ from repro.workload.trace import TraceEvent, TraceRecorder, load_trace, replay, 
 __all__ = [
     "AndrewBenchmark",
     "AndrewResult",
+    "DiurnalCurve",
     "FileClass",
     "HEADER_FILE",
     "OBJECT_FILE",
@@ -45,6 +48,7 @@ __all__ = [
     "USER_DOCUMENT",
     "USER_FILE",
     "UserProfile",
+    "launch_campus_day",
     "load_trace",
     "make_source_tree",
     "provision_campus",

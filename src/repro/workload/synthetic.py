@@ -28,7 +28,8 @@ from repro.system.itc import ITCSystem
 from repro.virtue.session import UserSession
 from repro.workload.filesizes import SYSTEM_BINARY, USER_DOCUMENT
 
-__all__ = ["UserProfile", "SyntheticUser", "provision_campus", "run_campus_day"]
+__all__ = ["UserProfile", "SyntheticUser", "launch_campus_day",
+           "provision_campus", "run_campus_day"]
 
 
 @dataclass(frozen=True)
@@ -83,6 +84,10 @@ class SyntheticUser:
         # Availability accounting (repro.obs.availability): attached by
         # run_campus_day when the campus has a fault plan installed.
         self.tracker = None
+        # Optional deterministic think-time pacing (repro.workload.diurnal):
+        # a callable t -> multiplier applied to each think-time draw.  The
+        # draw itself is unchanged, so an unpaced user replays identically.
+        self.pace = None
 
     # -- file choice ---------------------------------------------------------
 
@@ -169,7 +174,10 @@ class SyntheticUser:
         sim = self.session.workstation.sim
         deadline = sim.now + duration
         while sim.now < deadline:
-            yield sim.timeout(self.rng.exponential(self.profile.mean_think_seconds))
+            think = self.rng.exponential(self.profile.mean_think_seconds)
+            if self.pace is not None:
+                think *= self.pace(sim.now)
+            yield sim.timeout(think)
             if sim.now >= deadline:
                 break
             started = sim.now
@@ -252,6 +260,34 @@ def provision_campus(
     return users
 
 
+def launch_campus_day(
+    campus: ITCSystem,
+    users: List[SyntheticUser],
+    duration: float,
+    stagger: float = 30.0,
+    seed: int = 4242,
+):
+    """Start every user process without driving the clock.
+
+    The staggered-arrival draws are identical to :func:`run_campus_day`'s,
+    so a campus launched here and driven externally (the ops console, the
+    soak driver's windowed loop) replays the same day run_campus_day would.
+    Returns the user processes; drive them with ``sim.run`` or a
+    :class:`~repro.obs.live.SimulationController`.
+    """
+    sim = campus.sim
+    rng = WorkloadRandom(seed)
+
+    def staggered(user: SyntheticUser, delay: float) -> Generator:
+        yield sim.timeout(delay)
+        yield from user.run(duration)
+
+    return [
+        sim.process(staggered(user, rng.uniform(0.0, stagger)), name=f"user{i}")
+        for i, user in enumerate(users)
+    ]
+
+
 def run_campus_day(
     campus: ITCSystem,
     users: List[SyntheticUser],
@@ -267,17 +303,9 @@ def run_campus_day(
     measured window only.
     """
     sim = campus.sim
-    rng = WorkloadRandom(4242)
     tracker = getattr(campus, "availability", None)
-
-    def staggered(user: SyntheticUser, delay: float) -> Generator:
-        yield sim.timeout(delay)
-        yield from user.run(warmup + duration)
-
-    processes = [
-        sim.process(staggered(user, rng.uniform(0.0, stagger)), name=f"user{i}")
-        for i, user in enumerate(users)
-    ]
+    processes = launch_campus_day(campus, users, warmup + duration,
+                                  stagger=stagger)
     if warmup > 0:
         sim.run(until=sim.now + warmup)
         campus.reset_counters()

@@ -107,3 +107,42 @@ def test_profile_campus(capsys):
     assert "profiling: campus day" in out
     assert "simulation counters" in out
     assert "location.resolve_cache" in out
+
+
+def test_profile_campus_with_rolling_window(capsys):
+    assert main([
+        "profile", "campus",
+        "--clusters", "1", "--workstations", "2",
+        "--duration", "60", "--warmup", "10",
+        "--top", "3", "--window", "20",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Top volumes" in out
+    assert "Top servers" in out
+    assert "snapshot overhead" in out
+
+
+def test_chaos_with_rolling_window(capsys):
+    assert main([
+        "chaos", "--plan", "server-crash",
+        "--clusters", "1", "--workstations", "2",
+        "--duration", "600", "--warmup", "60",
+        "--window", "120", "--top", "3",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "availability" in out
+    assert "Top volumes" in out
+    assert "snapshot overhead" in out
+
+
+def test_console_headless(capsys, tmp_path):
+    events = tmp_path / "ops.jsonl"
+    assert main([
+        "console", "--headless",
+        "--clusters", "1", "--workstations", "2",
+        "--frames", "3", "--events", str(events),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "ITC campus" in out
+    assert "ALL CLEAR" in out
+    assert events.exists()

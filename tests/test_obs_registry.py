@@ -171,6 +171,49 @@ def test_latency_histograms_populate_per_procedure():
 
 
 # ======================================================================
+# snapshot hardening: a raising provider cannot poison the snapshot
+# ======================================================================
+
+
+def test_snapshot_survives_raising_provider():
+    registry = MetricsRegistry()
+    registry.gauge("good.value", lambda: 42)
+    state = {}
+    registry.counter("dead.closure", lambda: state["gone"])  # KeyError
+    registry.gauge("torn.down", lambda: (_ for _ in ()).throw(
+        AttributeError("host torn down")))
+
+    snapshot = registry.snapshot()
+    assert snapshot["good.value"] == {"type": "gauge", "value": 42}
+    assert snapshot["dead.closure"] == {"type": "counter", "unavailable": True}
+    assert snapshot["torn.down"] == {"type": "gauge", "unavailable": True}
+    # The marker round-trips through JSON like any healthy reading.
+    assert json.loads(json.dumps(snapshot)) == snapshot
+
+
+def test_value_still_raises_for_direct_reads():
+    # snapshot() degrades gracefully; a *direct* read of one instrument
+    # keeps the loud failure so unit tests and debuggers see the cause.
+    registry = MetricsRegistry()
+    state = {}
+    registry.counter("dead.closure", lambda: state["gone"])
+    with pytest.raises(KeyError):
+        registry.value("dead.closure")
+    assert registry.get("dead.closure").read_safe() == {
+        "type": "counter", "unavailable": True,
+    }
+
+
+def test_provider_recovers_after_repair():
+    registry = MetricsRegistry()
+    state = {}
+    registry.counter("flappy", lambda: state["n"])
+    assert registry.snapshot()["flappy"]["unavailable"] is True
+    state["n"] = 3
+    assert registry.snapshot()["flappy"] == {"type": "counter", "total": 3}
+
+
+# ======================================================================
 # providers are closures: they survive counter resets
 # ======================================================================
 
