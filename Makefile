@@ -1,12 +1,12 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test bench-smoke campus-smoke metropolis-smoke chaos-smoke soak-smoke trace-smoke bench results
+.PHONY: check test bench-smoke campus-smoke metropolis-smoke chaos-smoke redundancy-smoke soak-smoke trace-smoke bench results
 
 # Tier-1 gate: the full test suite plus the wall-clock time budgets.
 # A >2x wall-clock regression in the kernel, cipher or the end-to-end
 # campus path fails the corresponding smoke target.
-check: test bench-smoke campus-smoke metropolis-smoke chaos-smoke soak-smoke
+check: test bench-smoke campus-smoke metropolis-smoke chaos-smoke redundancy-smoke soak-smoke
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -32,6 +32,14 @@ chaos-smoke:
 	$(PYTHON) benchmarks/bench_availability.py --smoke \
 		--json benchmarks/results/chaos-smoke.json \
 		--timeline benchmarks/results/outage-timeline.json
+
+# Replication factors x fault plans, corner cells under a hard wall-clock
+# budget; fails if a clean cell has outages or replication fails to beat
+# the unreplicated baseline under a server crash.
+redundancy-smoke:
+	mkdir -p benchmarks/results
+	$(PYTHON) benchmarks/bench_redundancy.py --smoke \
+		--json benchmarks/results/redundancy-smoke.json
 
 # Six virtual hours at 200 workstations under chaos, every soak invariant
 # checked per window, plus the sabotaged negative control; fails on any

@@ -112,6 +112,9 @@ def _run_plan(plan, shape, write_policy="on-close"):
         workstations_per_cluster=shape["workstations_per_cluster"],
         functional_payload_crypto=False,
         write_policy=write_policy,
+        # Single-attempt write-back: keeps this bench's virtual outputs
+        # byte-identical to runs predating deferred-flush retries.
+        flush_retry_limit=0,
         fault_plan=plan,
     ))
     users = provision_campus(campus, hot_files=8, cold_files=10,

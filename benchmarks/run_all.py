@@ -44,6 +44,9 @@ from bench_campus import run_campus_benchmark
 from bench_encryption import run_mode
 from bench_kernel import run_microbenchmarks
 from bench_metropolis import SMOKE_SCALES, run_metropolis_benchmark
+from bench_redundancy import SMOKE_FACTORS, SMOKE_PLANS
+from bench_redundancy import SMOKE_SHAPE as REDUNDANCY_SMOKE_SHAPE
+from bench_redundancy import run_redundancy_benchmark
 from bench_scalability import run_concurrent
 from bench_soak import TRACKED_SHAPE as SOAK_TRACKED_SHAPE
 from bench_soak import run_soak_benchmark
@@ -173,6 +176,12 @@ def collect() -> dict:
     report["availability"] = run_availability_benchmark(
         AVAIL_SMOKE_SHAPE, full=False
     )
+    print("redundancy matrix (replication factor x fault plan)...")
+    # Corner cells only: the full matrix is bench_redundancy's own run;
+    # the tracked harness records the CI-budget variant.
+    report["redundancy"] = run_redundancy_benchmark(
+        REDUNDANCY_SMOKE_SHAPE, SMOKE_FACTORS, SMOKE_PLANS
+    )
     print("soak (invariant-checked chaos run, tracked shape)...")
     # The continuous-soak gate at the tracked shape: records soak events/s
     # and per-window snapshot overhead; the six-hour acceptance shape is
@@ -240,6 +249,17 @@ def summarize(report: dict) -> str:
                 f"  outages {row['outages']:<3d}"
                 f" MTTR p50 {mttr['p50']:6.1f}s p90 {mttr['p90']:6.1f}s"
             )
+    if report.get("redundancy"):
+        lines.append("redundancy matrix (smoke cells):")
+        for factor, rows in report["redundancy"]["factors"].items():
+            for name, row in rows.items():
+                promotions = row.get("controller", {}).get("promotions", 0)
+                lines.append(
+                    f"  factor {factor} {name:14s} avail "
+                    f"{row['availability']:8.2%}  failovers {promotions:<3d}"
+                    f" lost {row['lost_writes']['total']:<3d}"
+                    f" storage {row['storage']['overhead']:.2f}x"
+                )
     if report.get("soak"):
         soak = report["soak"]
         overhead = soak["snapshot_overhead_us"]

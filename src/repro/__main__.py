@@ -237,11 +237,17 @@ def cmd_chaos(args) -> int:
             plan = FaultPlan.from_dict(json.load(handle))
     else:
         plan = PRESETS[args.plan](seed=args.seed)
+    replication = None
+    if args.replication > 1:
+        from repro.vice.replication import ReplicationConfig
+
+        replication = ReplicationConfig(factor=args.replication)
     campus = ITCSystem(
         SystemConfig(mode=args.mode, clusters=args.clusters,
                      workstations_per_cluster=args.workstations,
                      functional_payload_crypto=False,
-                     seed=args.seed, fault_plan=plan)
+                     seed=args.seed, fault_plan=plan,
+                     replication=replication)
     )
     if args.trace:
         _attach_recorder(args, campus)
@@ -264,6 +270,13 @@ def cmd_chaos(args) -> int:
     if ttfs["count"]:
         print(f"time to first success after recovery: mean {ttfs['mean']:.1f}s, "
               f"p90 {ttfs['p90']:.1f}s")
+    controller = campus.replication_controller
+    if controller is not None:
+        print(f"replication (factor {args.replication}): "
+              f"{controller.deaths_declared} deaths declared, "
+              f"{controller.promotions} promotions, "
+              f"{controller.rereplications} re-replications, "
+              f"{controller.rejoins} rejoins")
     if args.timeline:
         count = campus.availability.write_timeline(args.timeline)
         print(f"timeline: {count} events -> {args.timeline}")
@@ -510,6 +523,9 @@ def main(argv=None) -> int:
                        help="measured window, virtual seconds (default 1800)")
     chaos.add_argument("--warmup", type=float, default=120.0,
                        help="warm-up before measuring, virtual seconds (default 120)")
+    chaos.add_argument("--replication", type=int, default=1, metavar="N",
+                       help="replicate each volume on N servers with heartbeat "
+                            "failover (default 1 = off; revised mode only)")
     chaos.add_argument("--timeline", metavar="FILE", default="",
                        help="write the fault/outage timeline as JSON")
     obs_flags(chaos)

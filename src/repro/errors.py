@@ -171,6 +171,21 @@ class ServerUnavailable(ViceError):
     """The server is down or unreachable; Virtue may retry elsewhere."""
 
 
+class LeaseExpired(ViceError):
+    """A replicated volume's primary lost its write lease.
+
+    Raised by a primary whose heartbeat lease from the replication
+    controller has lapsed (it may have been partitioned away and a
+    surviving replica promoted in its place).  Venus treats it like
+    ``ServerUnavailable``: refresh the location hint and retry at the
+    current primary.
+    """
+
+
+class ReplicationError(ViceError):
+    """A replicated store could not reach its write quorum."""
+
+
 # ---------------------------------------------------------------------------
 # Security
 # ---------------------------------------------------------------------------

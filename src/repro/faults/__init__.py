@@ -34,6 +34,7 @@ from repro.faults.plan import (
     clean_plan,
     flaky_campus_plan,
     lossy_backbone_plan,
+    partition_plan,
     server_crash_plan,
 )
 from repro.faults.scheduler import FaultScheduler
@@ -51,5 +52,6 @@ __all__ = [
     "corrupted_datagram",
     "flaky_campus_plan",
     "lossy_backbone_plan",
+    "partition_plan",
     "server_crash_plan",
 ]

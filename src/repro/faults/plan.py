@@ -47,6 +47,7 @@ __all__ = [
     "clean_plan",
     "flaky_campus_plan",
     "lossy_backbone_plan",
+    "partition_plan",
     "server_crash_plan",
 ]
 
@@ -239,6 +240,25 @@ def lossy_backbone_plan(
     )
 
 
+def partition_plan(
+    segment: str = "cluster0",
+    at: float = 600.0,
+    outage: float = 120.0,
+    seed: int = 0,
+) -> FaultPlan:
+    """One cluster segment is cut off from the backbone (bridge failure).
+
+    Every host on the segment keeps running but cannot be reached from the
+    rest of the campus; on a replicated campus the partitioned server's
+    write lease expires and its volumes fail over to replicas outside.
+    """
+    return FaultPlan(
+        name="partition",
+        seed=seed,
+        faults=(Fault("partition", segment, start=at, duration=outage),),
+    )
+
+
 def flaky_campus_plan(seed: int = 0) -> FaultPlan:
     """A bad day: lossy backbone, a server crash, a sick disk, a slow CPU."""
     return FaultPlan(
@@ -277,6 +297,7 @@ PRESETS = {
     "clean": clean_plan,
     "server-crash": server_crash_plan,
     "lossy-backbone": lossy_backbone_plan,
+    "partition": partition_plan,
     "flaky-campus": flaky_campus_plan,
     "chaos": chaos_plan,
 }

@@ -170,6 +170,23 @@ class AvailabilityTracker:
         if self.listener is not None:
             self.listener(record)
 
+    def record_failover(self, volume_id: str, old_primary: str,
+                        new_primary: str, now: Optional[float] = None) -> None:
+        """The replication controller promoted a new primary for a volume.
+
+        The ``failovers`` counter key is created lazily so campuses that
+        never fail over (every pre-replication run) keep the exact
+        ``events`` dict they always had.
+        """
+        if now is None:
+            now = self.sim.now
+        self.counters["failovers"] = self.counters.get("failovers", 0) + 1
+        record = {"t": now, "event": "failover", "volume": volume_id,
+                  "old_primary": old_primary, "new_primary": new_primary}
+        self._events.append(record)
+        if self.listener is not None:
+            self.listener(record)
+
     def record_salvage(self, target: str, volumes: int,
                        now: Optional[float] = None) -> None:
         """A post-crash salvage pass completed on a server."""

@@ -59,6 +59,14 @@ class RpcCosts:
     loss_probability: float = 0.0
     retransmit_timeout: float = 2.0
     max_retries: int = 3
+    # Exponential backoff between retransmissions: attempt k waits
+    # base * backoff**k, scattered by +/- jitter (a fraction) drawn from
+    # the node's seeded generator so replays stay byte-identical.  The
+    # defaults (1.0, 0.0) reproduce the original fixed per-attempt
+    # timeout exactly and draw no randomness at all; replicated
+    # topologies turn backoff on (see repro.system.topology).
+    retransmit_backoff: float = 1.0
+    retransmit_jitter: float = 0.0
 
     def encrypt_seconds(self, mode: str, nbytes: int) -> float:
         """CPU seconds to encrypt or decrypt ``nbytes`` under ``mode``."""

@@ -113,6 +113,7 @@ class RpcNode:
         self.calls_sent = Counter(f"calls-tx:{host.name}")
         self.handshakes_completed = 0
         self.retransmissions = 0
+        self.retransmits = Counter(f"retransmits:{host.name}")  # by destination
         self.corrupt_rejected = 0  # messages whose MAC/unmarshal check failed
 
         # Registry instruments: providers are closures over self, so they
@@ -124,6 +125,7 @@ class RpcNode:
         metrics.gauge(f"{prefix}.handshakes_completed",
                       lambda: self.handshakes_completed)
         metrics.gauge(f"{prefix}.retransmissions", lambda: self.retransmissions)
+        metrics.counter(f"{prefix}.retransmits", lambda: self.retransmits)
         metrics.gauge(f"{prefix}.corrupt_rejected", lambda: self.corrupt_rejected)
         metrics.gauge(f"{prefix}.connections", lambda: len(self.connections))
         # Per-procedure round-trip latency distributions, created lazily on
@@ -326,7 +328,10 @@ class RpcNode:
         wire = envelope.wire_bytes(self.costs.envelope_bytes)
         # Generous per-attempt timeout: base plus time to move the larger of
         # the outbound message and the expected reply at ~50 KB/s worst case.
-        per_attempt = self.costs.retransmit_timeout + max(wire, expect_bytes) / 50_000.0
+        base_attempt = self.costs.retransmit_timeout + max(wire, expect_bytes) / 50_000.0
+        per_attempt = base_attempt
+        backoff = self.costs.retransmit_backoff
+        jitter = self.costs.retransmit_jitter
         attempts = 0
         while True:
             attempts += 1
@@ -348,6 +353,7 @@ class RpcNode:
                 # The server acknowledged it is still working on this call
                 # (e.g. mid callback-break): stay patient, re-arm and re-ask.
                 attempts = 0
+                per_attempt = base_attempt
                 event = self.sim.event()
                 self._rearm(envelope, event)
                 continue
@@ -356,6 +362,15 @@ class RpcNode:
                     f"no response from {destination} after {attempts} attempts"
                 )
             self.retransmissions += 1
+            self.retransmits.add(destination)
+            # Exponential backoff with seeded jitter for the next attempt.
+            # With the defaults (backoff 1.0, jitter 0) this branch keeps
+            # the historical fixed timeout and, crucially, draws nothing
+            # from the generator, so unconfigured runs replay byte-for-byte.
+            if backoff != 1.0 or jitter != 0.0:
+                per_attempt = base_attempt * (backoff ** attempts)
+                if jitter != 0.0:
+                    per_attempt *= 1.0 + jitter * self.rng.uniform(-1.0, 1.0)
 
     def _rearm(self, envelope: Envelope, event: Event) -> None:
         """Re-register a pending slot consumed by a BUSY acknowledgement."""

@@ -15,6 +15,7 @@ from typing import Optional
 from repro.faults.plan import FaultPlan
 from repro.rpc.costs import EncryptionMode, RpcCosts
 from repro.vice.costs import ViceCosts
+from repro.vice.replication import ReplicationConfig
 from repro.venus.venus import VenusCosts
 
 __all__ = ["SystemConfig"]
@@ -62,6 +63,9 @@ class SystemConfig:
     # (the §3.2 alternative, kept for the ablation bench).
     write_policy: str = "on-close"
     flush_delay: float = 30.0
+    # Deferred write-back retries before a failed flush is declared lost.
+    # 0 reproduces the historical single silent attempt's timing exactly.
+    flush_retry_limit: int = 2
 
     # Prototype Unix limits: per-client server processes.
     max_server_processes: Optional[int] = 64
@@ -70,6 +74,12 @@ class SystemConfig:
     rpc_costs: Optional[RpcCosts] = None
     vice_costs: Optional[ViceCosts] = None
     venus_costs: Optional[VenusCosts] = None
+
+    # Read-write volume replication (see repro.vice.replication).  None —
+    # the default — builds no controller, no heartbeats and no replica
+    # hooks, keeping the campus byte-identical to pre-replication builds.
+    # Revised mode only.
+    replication: Optional[ReplicationConfig] = None
 
     # Fault injection (see repro.faults).  None keeps every fault hook off
     # and the campus byte-identical to a build without the faults package;

@@ -16,11 +16,12 @@ from a :class:`~repro.system.config.SystemConfig`, and offers:
 
 from __future__ import annotations
 
+import itertools
 from contextlib import contextmanager
 from typing import Any, Dict, Generator, Iterator, List, Optional, Tuple
 
 from repro.crypto.keys import derive_user_key
-from repro.errors import InvalidArgument
+from repro.errors import FileNotFound, InvalidArgument
 from repro.faults.plan import FaultPlan
 from repro.faults.scheduler import FaultScheduler
 from repro.obs.availability import AvailabilityTracker
@@ -32,9 +33,11 @@ from repro.system.topology import (
     build_network,
     build_servers,
     build_workstations,
+    rpc_costs_for,
     server_name,
 )
 from repro.vice.protection import AccessList
+from repro.vice.replication import ReplicationController, ServerReplication
 from repro.vice.server import ViceServer
 from repro.vice.volume import Volume
 from repro.virtue.session import UserSession
@@ -66,6 +69,33 @@ class ITCSystem:
         self._batch_depth = 0
         self._sync_pending = False
 
+        # Read-write replication (repro.vice.replication): a controller
+        # host on the backbone, a per-server agent, and Venus failover.
+        # None of it exists unless configured, so unreplicated campuses
+        # stay byte-identical to pre-replication builds.
+        self.replication_controller: Optional[ReplicationController] = None
+        if self.config.replication is not None:
+            if self.config.mode == "prototype":
+                raise InvalidArgument(
+                    "read-write replication requires the revised implementation"
+                )
+            self.replication_controller = ReplicationController(
+                self.sim,
+                self.network,
+                self.config.replication,
+                self.service_key,
+                rpc_costs=rpc_costs_for(self.config),
+                encryption=self.config.encryption,
+            )
+            for server in self.servers:
+                server.replication = ServerReplication(
+                    server, self.config.replication
+                )
+                self.replication_controller.register_server(server.host.name)
+            all_names = [s.host.name for s in self.servers]
+            for workstation in self.workstations:
+                workstation.venus.enable_failover(all_names)
+
         # Master copies of the replicated databases; setup-time mutations
         # apply here and are pushed to every server replica.
         self._location_master = self.servers[0].location
@@ -74,7 +104,8 @@ class ITCSystem:
 
         root = Volume(_ROOT_VOLUME, "vice root", clock=lambda: self.sim.now)
         self.servers[0].add_volume(root)
-        self._location_master.add("/", _ROOT_VOLUME, self.servers[0].host.name)
+        entry = self._location_master.add("/", _ROOT_VOLUME, self.servers[0].host.name)
+        self._attach_replicas(root, self.servers[0], entry)
         self.sync_databases()
 
         # Fault injection (repro.faults): nothing exists until a plan is
@@ -102,7 +133,15 @@ class ITCSystem:
         return self._server_by_name[name_or_index]
 
     def volume(self, volume_id: str) -> Volume:
-        """A volume object wherever it currently lives."""
+        """A volume object wherever it currently lives (primary preferred)."""
+        try:
+            entry = self._location_master.entry_for_volume(volume_id)
+        except FileNotFound:
+            entry = None
+        if entry is not None:
+            custodian = self._server_by_name.get(entry.custodian)
+            if custodian is not None and volume_id in custodian.volumes:
+                return custodian.volumes[volume_id]
         for server in self.servers:
             if volume_id in server.volumes:
                 return server.volumes[volume_id]
@@ -144,6 +183,8 @@ class ITCSystem:
                 server.location.load_snapshot(location)
             if server.protection is not self._protection_master:
                 server.protection.load_snapshot(protection)
+        if self.replication_controller is not None:
+            self.replication_controller.location.load_snapshot(location)
 
     def add_user(self, username: str, password: str) -> bytes:
         """Register a user campus-wide; returns their derived key."""
@@ -195,9 +236,47 @@ class ITCSystem:
             acl.grant(owner, "rwidlak")
         server.add_volume(volume)
         self._make_stub_dirs(mount_path)
-        self._location_master.add(mount_path, volume_id, server.host.name)
+        entry = self._location_master.add(mount_path, volume_id, server.host.name)
+        self._attach_replicas(volume, server, entry)
         self.sync_databases()
         return volume
+
+    def _attach_replicas(self, volume: Volume, server: ViceServer, entry) -> None:
+        """Place secondary copies on the next servers around the ring.
+
+        The copies are byte-exact snapshots of the (still empty) primary,
+        so identical setup-time mutations — :meth:`populate` et al. apply
+        to every copy in the same order — assign identical vnode numbers,
+        and Venus fid caches survive a failover unchanged.
+        """
+        rconf = self.config.replication
+        if rconf is None or rconf.factor < 2 or len(self.servers) < 2:
+            return
+        names = [s.host.name for s in self.servers]
+        start = names.index(server.host.name)
+        count = min(rconf.factor, len(names))
+        replicas = [names[(start + i) % len(names)] for i in range(count)]
+        volume.replica_role = "primary"
+        for name in replicas[1:]:
+            copy = Volume.from_snapshot(volume.snapshot(), clock=lambda: self.sim.now)
+            copy.replica_role = "secondary"
+            # from_snapshot advances the inode allocator one past the
+            # highest shipped vnode; the just-created primary's allocator
+            # still sits at the start.  Realign so the identical-order
+            # setup mutations below (populate, stub dirs) assign identical
+            # vnode numbers on every copy.
+            copy.fs._inode_numbers = itertools.count(2)
+            self._server_by_name[name].add_volume(copy)
+        entry.replicas = replicas
+
+    def _all_copies(self, volume: Volume) -> List[Volume]:
+        """Every server's copy of a volume, the given one first."""
+        copies = [volume]
+        for server in self.servers:
+            copy = server.volumes.get(volume.volume_id)
+            if copy is not None and copy is not volume:
+                copies.append(copy)
+        return copies
 
     def _make_stub_dirs(self, mount_path: str) -> None:
         if mount_path == "/":
@@ -207,11 +286,12 @@ class ITCSystem:
         relative = (
             mount_path[len(entry.mount_path):] if entry.mount_path != "/" else mount_path
         )
-        built = ""
-        for part in pathutil.components(relative):
-            built = built + "/" + part
-            if not parent_volume.fs.exists(built):
-                parent_volume.mkdir(built)
+        for copy in self._all_copies(parent_volume):
+            built = ""
+            for part in pathutil.components(relative):
+                built = built + "/" + part
+                if not copy.fs.exists(built):
+                    copy.mkdir(built)
 
     def create_user_volume(self, username: str, cluster: int = 0, quota_bytes=None) -> Volume:
         """A user's home subtree at ``/usr/<name>``, custodian in ``cluster``.
@@ -230,22 +310,25 @@ class ITCSystem:
 
     def populate(self, volume: Volume, tree: Dict[str, bytes], owner: str = "system:administrators") -> None:
         """Pre-load files into a volume (setup-time content, no protocol)."""
+        copies = self._all_copies(volume)
         for path, data in sorted(tree.items()):
             path = pathutil.normalize(path)
             parent = pathutil.dirname(path)
-            if not volume.fs.exists(parent):
-                parts = pathutil.components(parent)
-                built = ""
-                for part in parts:
-                    built += "/" + part
-                    if not volume.fs.exists(built):
-                        volume.mkdir(built, owner=owner)
-            volume.write(path, data, owner=owner)
+            for copy in copies:
+                if not copy.fs.exists(parent):
+                    parts = pathutil.components(parent)
+                    built = ""
+                    for part in parts:
+                        built += "/" + part
+                        if not copy.fs.exists(built):
+                            copy.mkdir(built, owner=owner)
+                copy.write(path, data, owner=owner)
 
     def set_directory_acl(self, volume: Volume, path: str, acl: AccessList) -> None:
         """Setup-time ACL assignment on a directory inside a volume."""
-        inode = volume.resolve(path)
-        volume.acls[inode.number] = acl
+        for copy in self._all_copies(volume):
+            inode = copy.resolve(path)
+            copy.acls[inode.number] = acl
 
     # ==================================================================
     # fault injection
@@ -261,6 +344,8 @@ class ITCSystem:
         if self.fault_scheduler is not None:
             raise InvalidArgument("a fault plan is already installed")
         self.availability = AvailabilityTracker(self.sim)
+        if self.replication_controller is not None:
+            self.replication_controller.tracker = self.availability
         self.fault_scheduler = FaultScheduler(self, plan)
         self.fault_scheduler.install()
         return self.fault_scheduler

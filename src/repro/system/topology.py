@@ -27,7 +27,13 @@ def rpc_costs_for(config: SystemConfig) -> RpcCosts:
     """The configured RPC cost model, defaulting by implementation mode."""
     if config.rpc_costs is not None:
         return config.rpc_costs
-    return RpcCosts.prototype() if config.mode == "prototype" else RpcCosts.revised()
+    costs = RpcCosts.prototype() if config.mode == "prototype" else RpcCosts.revised()
+    if config.replication is not None:
+        # Replicated campuses exist to ride through failures: fixed-interval
+        # retransmission hammers a dead or partitioned server in lockstep,
+        # so give them exponential backoff with seeded jitter by default.
+        costs = costs.with_(retransmit_backoff=2.0, retransmit_jitter=0.1)
+    return costs
 
 __all__ = ["build_network", "build_servers", "build_workstations", "cluster_segment", "server_name"]
 
@@ -115,6 +121,7 @@ def build_workstations(
                 payload_fast_path=config.payload_fast_path,
                 write_policy=config.write_policy,
                 flush_delay=config.flush_delay,
+                flush_retry_limit=config.flush_retry_limit,
             )
             workstations.append(workstation)
     return workstations

@@ -31,11 +31,13 @@ from repro.errors import (
     FileNotFound,
     InvalidArgument,
     IsADirectory,
+    LeaseExpired,
     NoSpace,
     NotAuthenticated,
     NotCustodian,
     NotADirectory,
     ReproError,
+    ServerUnavailable,
     TooManySymlinks,
 )
 from repro.hosts import Host
@@ -97,6 +99,8 @@ class Venus:
         payload_fast_path: bool = True,
         write_policy: str = "on-close",
         flush_delay: float = 30.0,
+        flush_retry_limit: int = 2,
+        flush_retry_backoff: float = 2.0,
     ):
         if mode not in ("prototype", "revised"):
             raise InvalidArgument(f"unknown Venus mode {mode!r}")
@@ -115,10 +119,25 @@ class Venus:
         # trading crash safety and freshness for fewer stores.
         self.write_policy = write_policy
         self.flush_delay = flush_delay
+        # Bounded write-back retry: a deferred flush that fails retries up
+        # to flush_retry_limit times with exponential backoff before the
+        # write-back is declared lost (it used to be dropped silently).
+        # Limit 0 reproduces the historical single attempt exactly — same
+        # virtual timing — while still counting the loss.
+        self.flush_retry_limit = flush_retry_limit
+        self.flush_retry_backoff = flush_retry_backoff
         self.deferred_flushes = 0
         self.coalesced_stores = 0
+        self.flush_retries = 0
+        self.lost_writes = 0
         self._flushing: set = set()
         self._flush_scheduled: set = set()
+        # Replicated campuses list every server here (enable_failover):
+        # on ServerUnavailable/LeaseExpired Venus refreshes its location
+        # hint against these and retries at the new primary.  Empty means
+        # the historical behavior: such errors surface immediately.
+        self.failover_servers: List[str] = []
+        self.failovers = 0
         self.cluster_server = cluster_server
         self.costs = costs or VenusCosts()
 
@@ -163,6 +182,9 @@ class Venus:
         metrics.counter(f"{prefix}.validations", lambda: self.validations)
         metrics.counter(f"{prefix}.callback_breaks_received",
                         lambda: self.callback_breaks_received)
+        metrics.counter(f"{prefix}.flush_retries", lambda: self.flush_retries)
+        metrics.counter(f"{prefix}.lost_writes", lambda: self.lost_writes)
+        metrics.counter(f"{prefix}.failovers", lambda: self.failovers)
         metrics.counter(f"{prefix}.cache.hits", lambda: self.cache.hits)
         metrics.counter(f"{prefix}.cache.misses", lambda: self.cache.misses)
         metrics.counter(f"{prefix}.cache.evictions", lambda: self.cache.evictions)
@@ -214,9 +236,49 @@ class Venus:
         entry = self.hints.lookup(vice_path)
         if entry is not None:
             return entry
-        conn = yield from self._conn(username, self.cluster_server)
-        result, _ = yield from self.node.call(conn, "GetCustodian", {"path": vice_path})
+        result = yield from self._get_custodian(username, vice_path)
         return self.hints.install(result)
+
+    def _get_custodian(self, username: str, vice_path: str) -> Generator[Any, Any, Dict]:
+        """Location query, falling back across servers when failover is on."""
+        probes = [self.cluster_server] + [
+            s for s in self.failover_servers if s != self.cluster_server
+        ]
+        last_error: Optional[ReproError] = None
+        for server in probes:
+            try:
+                conn = yield from self._conn(username, server)
+                result, _ = yield from self.node.call(
+                    conn, "GetCustodian", {"path": vice_path}
+                )
+                return result
+            except ServerUnavailable as err:
+                last_error = err
+        raise last_error
+
+    def _refresh_entry(self, username: str, entry: Dict) -> Generator[Any, Any, Dict]:
+        """Drop a location hint that pointed at a dead primary and re-ask."""
+        self.hints.forget(entry["mount_path"])
+        self._distrust_cache()
+        result = yield from self._get_custodian(username, entry["mount_path"])
+        return self.hints.install(result)
+
+    def _distrust_cache(self) -> None:
+        """Drop callback trust across the cache after a failover.
+
+        Promises were held with the old primary; the promoted replica has
+        no record of them and cannot break them, so every writable cached
+        copy must revalidate at its next open.
+        """
+        for entry in self.cache:
+            if not entry.status.get("read_only"):
+                entry.callback_valid = False
+        for directory in self.dir_cache.values():
+            directory.valid = False
+
+    def enable_failover(self, servers: List[str]) -> None:
+        """Let location queries and failed calls retry at these servers."""
+        self.failover_servers = list(servers)
 
     def _nearest(self, servers: List[str]) -> str:
         me = self.host.name
@@ -241,18 +303,28 @@ class Venus:
         payload: bytes = b"",
         expect_bytes: int = 0,
     ) -> Generator[Any, Any, Tuple[Any, bytes]]:
-        """Pathname-family call with custodian-referral retry."""
+        """Pathname-family call with custodian-referral and failover retry."""
+        last_error: Optional[ReproError] = None
         for _attempt in range(4):
             entry = yield from self._entry_for(username, vice_path)
             server = entry["custodian"] if want_write else self._read_server(entry)
-            conn = yield from self._conn(username, server)
             try:
+                conn = yield from self._conn(username, server)
                 return (yield from self.node.call(
                     conn, procedure, args, payload=payload, expect_bytes=expect_bytes
                 ))
             except NotCustodian as referral:
+                last_error = NotCustodian(referral.custodian_hint)
                 self.hints.redirect(entry["mount_path"], referral.custodian_hint)
-        raise NotCustodian(referral.custodian_hint)
+            except (ServerUnavailable, LeaseExpired) as err:
+                if not self.failover_servers:
+                    raise
+                # The custodian is dead or fenced: forget the hint and
+                # re-resolve (the controller may have promoted a replica).
+                self.failovers += 1
+                last_error = err
+                yield from self._refresh_entry(username, entry)
+        raise last_error
 
     def _fid_call(
         self,
@@ -271,16 +343,25 @@ class Venus:
         for pathname calls.
         """
         target = server or entry["custodian"]
+        last_error: Optional[ReproError] = None
         for _attempt in range(4):
-            conn = yield from self._conn(username, target)
             try:
+                conn = yield from self._conn(username, target)
                 return (yield from self.node.call(
                     conn, procedure, args, payload=payload, expect_bytes=expect_bytes
                 ))
             except NotCustodian as referral:
+                last_error = NotCustodian(referral.custodian_hint)
                 self.hints.redirect(entry["mount_path"], referral.custodian_hint)
                 target = referral.custodian_hint
-        raise NotCustodian(target)
+            except (ServerUnavailable, LeaseExpired) as err:
+                if not self.failover_servers:
+                    raise
+                self.failovers += 1
+                last_error = err
+                entry = yield from self._refresh_entry(username, entry)
+                target = entry["custodian"]
+        raise last_error
 
     # ==================================================================
     # fid resolution (revised mode)
@@ -439,6 +520,11 @@ class Venus:
                         yield from self.host.disk.access(entry.size)
                     entry.open_count += 1
                     return entry
+                if entry.dirty:
+                    # The stale copy still held an unstored write (its
+                    # store failed terminally, or a deferred flush never
+                    # landed): it dies with the copy — count it.
+                    self.lost_writes += 1
                 self.cache.remove(vice_path)
 
             if not need_data:
@@ -629,9 +715,26 @@ class Venus:
             return
         self._flushing.add(entry.vice_path)
         try:
-            yield from self._store(username, entry)
-        except ReproError:
-            pass  # the dirty flag stays set; a later flush may retry
+            delay = self.flush_delay
+            attempt = 0
+            while True:
+                try:
+                    yield from self._store(username, entry)
+                    return
+                except ReproError:
+                    if attempt >= self.flush_retry_limit:
+                        # Retries exhausted: the data survives in the local
+                        # cache (dirty flag stays set) but Vice never saw
+                        # this write-back — an honest, counted loss instead
+                        # of the silent drop this branch used to be.
+                        self.lost_writes += 1
+                        return
+                attempt += 1
+                self.flush_retries += 1
+                yield self.sim.timeout(delay)
+                delay *= self.flush_retry_backoff
+                if not entry.dirty or entry.open_count > 0:
+                    return  # reopened or re-flushed while we backed off
         finally:
             self._flushing.discard(entry.vice_path)
 

@@ -320,6 +320,13 @@ class FileService:
                 status = self._status_of(volume, inode, conn.username)
             finally:
                 self.server.vnode_release(guard_fid, guard)
+        yield from self.server.replicate_mutation(volume, {
+            "op": "write",
+            "path": volume.path_of(inode.number),
+            "vnode": inode.number,
+            "version": inode.version,
+            "owner": conn.username,
+        }, payload=data)
         self.server.note_volume_access(volume, conn, len(data))
         self._count("store")
         return status, b""
@@ -416,6 +423,12 @@ class FileService:
         parent_path = volume.path_of(parent.number)
         inode = volume.mkdir(pathutil.join(parent_path, name), owner=conn.username)
         yield from self._break_callbacks(make_fid(volume.volume_id, parent.number), exclude=conn)
+        yield from self.server.replicate_mutation(volume, {
+            "op": "mkdir",
+            "path": volume.path_of(inode.number),
+            "vnode": inode.number,
+            "owner": conn.username,
+        })
         self._count("other")
         return self._status_of(volume, inode, conn.username), b""
 
@@ -452,6 +465,10 @@ class FileService:
             volume.unlink(full)
         yield from self._break_callbacks(fid, exclude=conn)
         yield from self._break_callbacks(make_fid(volume.volume_id, parent.number), exclude=conn)
+        yield from self.server.replicate_mutation(volume, {
+            "op": "rmdir" if directory else "unlink",
+            "path": full,
+        })
         self._count("other")
         return {"removed": True}, b""
 
@@ -497,6 +514,11 @@ class FileService:
             yield from self._break_callbacks(
                 make_fid(old_vol.volume_id, replaced.number), exclude=conn
             )
+        yield from self.server.replicate_mutation(old_vol, {
+            "op": "rename",
+            "old": old_rest,
+            "new": new_rest,
+        })
         self._count("other")
         return self._status_of(old_vol, node, conn.username), b""
 
@@ -516,6 +538,13 @@ class FileService:
         parent_path = volume.path_of(parent.number)
         inode = volume.symlink(pathutil.join(parent_path, name), target, owner=conn.username)
         yield from self._break_callbacks(make_fid(volume.volume_id, parent.number), exclude=conn)
+        yield from self.server.replicate_mutation(volume, {
+            "op": "symlink",
+            "path": volume.path_of(inode.number),
+            "vnode": inode.number,
+            "target": target,
+            "owner": conn.username,
+        })
         self._count("other")
         return self._status_of(volume, inode, conn.username), b""
 
@@ -566,6 +595,11 @@ class FileService:
             yield from self._break_callbacks(
                 make_fid(volume.volume_id, child.number), exclude=None
             )
+        yield from self.server.replicate_mutation(volume, {
+            "op": "set_acl",
+            "path": volume.path_of(inode.number),
+            "acl": record,
+        })
         self._count("other")
         return {"ok": True}, b""
 

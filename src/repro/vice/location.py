@@ -31,15 +31,24 @@ class LocationEntry:
     volume_id: str
     custodian: str
     ro_servers: List[str] = field(default_factory=list)
+    # Read-write replica sites (custodian first) when the volume is
+    # N-way replicated; empty otherwise.  See repro.vice.replication.
+    replicas: List[str] = field(default_factory=list)
 
     def as_dict(self) -> Dict:
         """Marshal-friendly form."""
-        return {
+        record = {
             "mount_path": self.mount_path,
             "volume_id": self.volume_id,
             "custodian": self.custodian,
             "ro_servers": list(self.ro_servers),
         }
+        # Only replicated entries carry the extra key, so the marshalled
+        # bytes (and every byte-derived wire/CPU charge) of unreplicated
+        # campuses are unchanged.
+        if self.replicas:
+            record["replicas"] = list(self.replicas)
+        return record
 
     @classmethod
     def from_dict(cls, record: Dict) -> "LocationEntry":
@@ -49,6 +58,7 @@ class LocationEntry:
             volume_id=record["volume_id"],
             custodian=record["custodian"],
             ro_servers=list(record.get("ro_servers", [])),
+            replicas=list(record.get("replicas", [])),
         )
 
 
@@ -150,6 +160,12 @@ class LocationDatabase:
         """Update the read-only replica placement for a volume."""
         entry = self.entry_for_volume(volume_id)
         entry.ro_servers = list(ro_servers)
+        self.version += 1
+
+    def set_replicas(self, volume_id: str, replicas: List[str]) -> None:
+        """Update the read-write replica membership for a volume."""
+        entry = self.entry_for_volume(volume_id)
+        entry.replicas = list(replicas)
         self.version += 1
 
     def entries(self) -> List[LocationEntry]:

@@ -28,7 +28,13 @@ from __future__ import annotations
 
 from typing import Dict, Generator, List, Optional
 
-from repro.errors import FileNotFound, InvalidArgument, NotCustodian, ViceError
+from repro.errors import (
+    FileNotFound,
+    InvalidArgument,
+    LeaseExpired,
+    NotCustodian,
+    ViceError,
+)
 from repro.hosts import Host
 from repro.rpc import marshal
 from repro.rpc.connection import Connection
@@ -110,6 +116,10 @@ class ViceServer:
         self.usage_by_user = Counter(f"usage:{host.name}")
         self._peer_connections: Dict[str, Connection] = {}
         self._vnode_locks: Dict[str, Resource] = {}
+        # Read-write replication agent (repro.vice.replication); attached
+        # by ITCSystem only when SystemConfig.replication is set, so
+        # unreplicated campuses carry no heartbeat traffic at all.
+        self.replication = None
 
         FileService(self).register_all()
         self.node.register("SyncLocation", self._sync_location_handler)
@@ -157,7 +167,9 @@ class ViceServer:
         """This server's copy for a location entry, or a custodian referral."""
         if entry.custodian == self.host.name:
             volume = self.volumes.get(entry.volume_id)
-            if volume is not None:
+            if volume is not None and volume.replica_role != "secondary":
+                if want_write:
+                    self._check_write_lease(volume)
                 return volume
         if not want_write and self.host.name in entry.ro_servers:
             replica = self.volumes.get(entry.volume_id + "-ro")
@@ -169,10 +181,40 @@ class ViceServer:
         """Resolve a fid's volume component at this server."""
         volume = self.volumes.get(volume_id)
         if volume is not None:
+            if volume.replica_role == "secondary":
+                # A read-write secondary never serves clients directly;
+                # refer them to the current primary.
+                entry = self.location.entry_for_volume(volume_id)
+                raise NotCustodian(entry.custodian)
+            if want_write:
+                self._check_write_lease(volume)
             return volume
         base = volume_id[:-3] if volume_id.endswith("-ro") else volume_id
         entry = self.location.entry_for_volume(base)
         raise NotCustodian(entry.custodian)
+
+    def _check_write_lease(self, volume: Volume) -> None:
+        """Fence writes at a primary whose controller lease has lapsed."""
+        if (
+            self.replication is not None
+            and volume.replica_role == "primary"
+            and not self.replication.lease_valid()
+        ):
+            raise LeaseExpired(
+                f"{self.host.name} holds no write lease for {volume.volume_id}"
+            )
+
+    def replicate_mutation(self, volume: Volume, record: Dict, payload: bytes = b"") -> Generator:
+        """Propagate one applied mutation to the volume's secondaries.
+
+        A no-op (no yields, no cost) unless this server runs replication
+        and the volume is a replicated primary, so unreplicated volumes
+        take exactly the code path they always did.
+        """
+        if self.replication is None or volume.replica_role != "primary":
+            return
+        record = dict(record, vv=dict(volume.bump_version_vector(self.host.name)))
+        yield from self.replication.propagate(volume, record, payload)
 
     # ------------------------------------------------------------------
     # local administration (pre-simulation setup)
@@ -262,6 +304,17 @@ class ViceServer:
         yield from self.host.compute(0.010 + len(payload) * self.costs.per_byte_cpu)
         yield from self.host.disk.access(len(payload), write=True, sequential=True)
         volume = Volume.from_snapshot(snapshot, clock=lambda: self.sim.now)
+        role = args.get("role")
+        if role is not None:
+            existing = self.volumes.get(volume.volume_id)
+            if existing is not None and self.replication is not None:
+                # Count writes on the copy being overwritten that the
+                # incoming authoritative copy never saw (a primary that
+                # crashed mid-propagation): those writes are lost here.
+                self.replication.divergent_discarded += existing.divergent_against(
+                    volume.version_vector
+                )
+            volume.replica_role = role
         self.add_volume(volume)
         return {"volume_id": volume.volume_id}, b""
 
@@ -269,7 +322,14 @@ class ViceServer:
         """Discard a local volume copy (the tail end of a move)."""
         self._require_service(conn)
         yield from self.host.compute(0.005)
-        self.volumes.pop(args["volume_id"], None)
+        existing = self.volumes.pop(args["volume_id"], None)
+        if (existing is not None and self.replication is not None
+                and "vv" in args):
+            # The caller supplied the authoritative copy's version vector:
+            # writes only this stale copy ever held die with it.
+            self.replication.divergent_discarded += existing.divergent_against(
+                args["vv"] or {}
+            )
         return {"ok": True}, b""
 
     # ------------------------------------------------------------------

@@ -62,6 +62,14 @@ class Volume:
         self.owner = owner
         self.online = True
         self.cloned_from: Optional[str] = None
+        # Read-write replication (repro.vice.replication).  None on every
+        # unreplicated volume; "primary" accepts client writes and
+        # propagates them, "secondary" holds a copy and refers clients to
+        # the custodian.  The version vector counts applied writes per
+        # origin server; comparing vectors detects replica divergence
+        # after a crash mid-propagation.
+        self.replica_role: Optional[str] = None
+        self.version_vector: Dict[str, int] = {}
         self.fs = UnixFileSystem(clock, name=f"vol:{volume_id}")
         self.used_bytes = 0
         self._inodes: Dict[int, Inode] = {self.fs.root.number: self.fs.root}
@@ -235,6 +243,85 @@ class Volume:
         new_parent = self.fs.resolve(pathutil.dirname(new))
         self._parents[node.number] = new_parent.number
 
+    # -- read-write replication (repro.vice.replication) -------------------------
+
+    def bump_version_vector(self, origin: str) -> Dict[str, int]:
+        """Count one applied write from ``origin``; returns the new vector."""
+        self.version_vector[origin] = self.version_vector.get(origin, 0) + 1
+        return self.version_vector
+
+    def divergent_against(self, incoming: Dict[str, int]) -> int:
+        """Writes this copy holds that the ``incoming`` vector does not.
+
+        A positive count means this replica applied writes the (authoritative)
+        sender never saw — the crash-mid-propagation signature.  Those writes
+        are discarded when the authoritative snapshot replaces this copy.
+        """
+        return sum(
+            max(0, count - incoming.get(origin, 0))
+            for origin, count in self.version_vector.items()
+        )
+
+    def apply_replica_op(self, record: Dict, payload: bytes = b"") -> None:
+        """Apply one mutation shipped by the primary (secondary side).
+
+        The record carries the primary's post-apply state: the path, the
+        assigned vnode number and version (fids must resolve identically at
+        every replica so Venus caches survive a failover), and the
+        primary's version vector, which this copy adopts wholesale — the
+        propagation stream is the serialisation order.
+        """
+        op = record["op"]
+        owner = record.get("owner", self.owner)
+        if op == "write":
+            node = self.write(record["path"], payload, owner=owner)
+            self._renumber(node, record["vnode"])
+            node.version = record["version"]
+        elif op == "mkdir":
+            node = self.mkdir(record["path"], owner=owner)
+            self._renumber(node, record["vnode"])
+        elif op == "symlink":
+            node = self.symlink(record["path"], record["target"], owner=owner)
+            self._renumber(node, record["vnode"])
+        elif op == "unlink":
+            self.unlink(record["path"])
+        elif op == "rmdir":
+            self.rmdir(record["path"])
+        elif op == "rename":
+            self.rename(record["old"], record["new"])
+        elif op == "set_acl":
+            inode = self.resolve(record["path"])
+            self.acls[inode.number] = AccessList.from_dict(record["acl"])
+        else:
+            raise InvalidArgument(f"unknown replica op {op!r}")
+        self.version_vector = dict(record.get("vv") or {})
+
+    def _renumber(self, node: Inode, vnode: int) -> None:
+        """Force a freshly created inode onto the primary's vnode number."""
+        old = node.number
+        if old == vnode:
+            return
+        if vnode in self._inodes:
+            raise InvalidArgument(
+                f"vnode {vnode} already in use in {self.volume_id}"
+            )
+        self._inodes.pop(old, None)
+        self._inodes[vnode] = node
+        parent = self._parents.pop(old, None)
+        if parent is not None:
+            self._parents[vnode] = parent
+        for child, par in list(self._parents.items()):
+            if par == old:
+                self._parents[child] = vnode
+        acl = self.acls.pop(old, None)
+        if acl is not None:
+            self.acls[vnode] = acl
+        node.number = vnode
+        if vnode > old:
+            # Keep this copy's allocator clear of adopted numbers.
+            while next(self.fs._inode_numbers) < vnode + 1:
+                pass
+
     def _register(self, node: Inode, parent: Inode) -> None:
         self._inodes[node.number] = node
         self._parents[node.number] = parent.number
@@ -386,7 +473,7 @@ class Volume:
                 ),
             }
             nodes.append(record)
-        return {
+        snap = {
             "volume_id": self.volume_id,
             "name": self.name,
             "quota_bytes": self.quota_bytes,
@@ -395,6 +482,13 @@ class Volume:
             "cloned_from": self.cloned_from,
             "nodes": nodes,
         }
+        # Replication metadata ships only for replicated volumes so the
+        # wire form (and its byte-derived costs) of plain volume moves is
+        # unchanged.
+        if self.replica_role is not None or self.version_vector:
+            snap["replica_role"] = self.replica_role
+            snap["version_vector"] = dict(self.version_vector)
+        return snap
 
     @classmethod
     def from_snapshot(cls, snapshot: Dict, clock: Optional[Callable[[], float]] = None) -> "Volume":
@@ -408,6 +502,8 @@ class Volume:
             owner=snapshot.get("owner", "system:administrators"),
         )
         volume.cloned_from = snapshot.get("cloned_from")
+        volume.replica_role = snapshot.get("replica_role")
+        volume.version_vector = dict(snapshot.get("version_vector") or {})
         volume._inodes = {}
         volume._parents = {}
         volume.acls = {}

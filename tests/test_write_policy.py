@@ -98,3 +98,52 @@ class TestDeferredWriteBack:
     def test_invalid_policy_rejected(self):
         with pytest.raises(InvalidArgument):
             small_campus(write_policy="psychic")
+
+
+class TestFlushRetry:
+    """Deferred write-back retries with backoff instead of dropping
+    silently; exhausted retries are counted as lost writes."""
+
+    def test_flush_retries_until_server_returns(self):
+        campus = deferred_campus(delay=10.0, flush_retry_limit=3)
+        session = alice_session(campus)
+        run(campus, session.write_file(f"{HOME}/f", b"persistent"))
+        campus.server(0).host.crash()
+        # First flush attempt fails; recover during the backoff window.
+        campus.run(until=campus.sim.now + 25.0)
+        campus.server(0).host.recover()
+        campus.run(until=campus.sim.now + 60.0)
+        venus = campus.workstation(0).venus
+        assert campus.volume("u-alice").read("/f") == b"persistent"
+        assert venus.flush_retries >= 1
+        assert venus.lost_writes == 0
+
+    def test_exhausted_retries_count_a_lost_write(self):
+        campus = deferred_campus(delay=5.0, flush_retry_limit=2)
+        session = alice_session(campus)
+        run(campus, session.write_file(f"{HOME}/f", b"doomed"))
+        campus.server(0).host.crash()  # and never returns
+        campus.run(until=campus.sim.now + 300.0)
+        venus = campus.workstation(0).venus
+        assert venus.lost_writes == 1
+        assert venus.flush_retries == 2
+        # The data survives locally (the cache is the only copy left).
+        entry = venus.cache.lookup("/usr/alice/f")
+        assert entry is not None and entry.dirty
+
+    def test_retry_limit_zero_reproduces_single_attempt(self):
+        campus = deferred_campus(delay=5.0, flush_retry_limit=0)
+        session = alice_session(campus)
+        run(campus, session.write_file(f"{HOME}/f", b"one shot"))
+        campus.server(0).host.crash()
+        campus.run(until=campus.sim.now + 120.0)
+        venus = campus.workstation(0).venus
+        assert venus.flush_retries == 0
+        assert venus.lost_writes == 1
+
+    def test_lost_write_metric_registered(self):
+        campus = deferred_campus()
+        names = campus.metrics.names("venus.")
+        host = campus.workstation(0).host.name
+        assert f"venus.{host}.lost_writes" in names
+        assert f"venus.{host}.flush_retries" in names
