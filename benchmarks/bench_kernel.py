@@ -156,6 +156,59 @@ def session_roundtrip(size: int = 65_536, messages: int = 50) -> float:
 
 
 # ----------------------------------------------------------------------
+# shard channel (repro.sim.shard cross-worker packet path)
+# ----------------------------------------------------------------------
+
+def _shard_packet_batch(batch_size: int):
+    """A representative handoff batch: RPC-sized datagrams plus route state."""
+    from repro.net.packet import Datagram
+
+    return [
+        (1234.5678 + i * 1e-4, 1, i, 1, "rpc", True,
+         Datagram(f"ws{i:03d}", "server0", os.urandom(256), 1024 + i))
+        for i in range(batch_size)
+    ]
+
+
+def shard_packet_pickle(batches: int = 400, batch_size: int = 8) -> float:
+    """Wall seconds to serialize + deserialize shard handoff batches.
+
+    This is the CPU half of a cross-shard handoff: everything a packet
+    pays besides the OS pipe transit itself.
+    """
+    import pickle
+
+    batch = _shard_packet_batch(batch_size)
+    start = time.perf_counter()
+    for _ in range(batches):
+        pickle.loads(pickle.dumps(batch, protocol=pickle.HIGHEST_PROTOCOL))
+    return time.perf_counter() - start
+
+
+def shard_channel_churn(batches: int = 400, batch_size: int = 8) -> float:
+    """Wall seconds to push shard handoff batches through an OS pipe.
+
+    The full per-window channel cost — ``Connection.send`` (pickle + write)
+    and ``Connection.recv`` (read + unpickle) — measured in-process so the
+    number excludes scheduler noise and isolates the transport itself.
+    """
+    import multiprocessing
+
+    ctx = multiprocessing.get_context()
+    reader, writer = ctx.Pipe(duplex=False)
+    batch = _shard_packet_batch(batch_size)
+    try:
+        start = time.perf_counter()
+        for _ in range(batches):
+            writer.send(batch)
+            reader.recv()
+        return time.perf_counter() - start
+    finally:
+        reader.close()
+        writer.close()
+
+
+# ----------------------------------------------------------------------
 # harness
 # ----------------------------------------------------------------------
 
@@ -168,6 +221,8 @@ _FULL = {
     "cancel_churn_heap": lambda: cancel_churn("heap"),
     "crypto_seal_unseal_64k": lambda: crypto_seal_unseal(),
     "session_roundtrip_64k": lambda: session_roundtrip(),
+    "shard_packet_pickle": lambda: shard_packet_pickle(),
+    "shard_channel_churn": lambda: shard_channel_churn(),
 }
 
 # Scaled-down variants with absolute wall-clock budgets (seconds).  The
@@ -183,6 +238,8 @@ _SMOKE = {
     "cancel_churn_heap": (lambda: cancel_churn("heap", rpcs=5_000, pending=200), 0.060),
     "crypto_seal_unseal_64k": (lambda: crypto_seal_unseal(repeats=10), 0.035),
     "session_roundtrip_64k": (lambda: session_roundtrip(messages=25), 0.075),
+    "shard_packet_pickle": (lambda: shard_packet_pickle(batches=200), 0.015),
+    "shard_channel_churn": (lambda: shard_channel_churn(batches=200), 0.020),
 }
 
 
@@ -243,6 +300,14 @@ def test_crypto_seal_unseal(benchmark):
 
 def test_session_roundtrip(benchmark):
     benchmark.pedantic(session_roundtrip, rounds=3, iterations=1, warmup_rounds=1)
+
+
+def test_shard_packet_pickle(benchmark):
+    benchmark.pedantic(shard_packet_pickle, rounds=3, iterations=1, warmup_rounds=1)
+
+
+def test_shard_channel_churn(benchmark):
+    benchmark.pedantic(shard_channel_churn, rounds=3, iterations=1, warmup_rounds=1)
 
 
 def main() -> int:

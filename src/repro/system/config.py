@@ -10,7 +10,10 @@ operating point) — scaled down to sizes a laptop simulates quickly.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # import kept lazy: unsharded runs never load the module
+    from repro.sim.shard import ShardConfig
 
 from repro.faults.plan import FaultPlan
 from repro.rpc.costs import EncryptionMode, RpcCosts
@@ -86,6 +89,12 @@ class SystemConfig:
     # a plan — even an empty "clean" one — installs the scheduler and the
     # availability tracker at construction time.
     fault_plan: Optional[FaultPlan] = None
+
+    # Sharded parallel execution (see repro.sim.shard).  None — the
+    # default — keeps the single-process kernel and imports nothing; a
+    # ShardConfig makes run_campus_day fan the clusters out over
+    # per-shard event loops with conservative bridge lookahead.
+    sharding: Optional["ShardConfig"] = None
 
     seed: int = 0
 

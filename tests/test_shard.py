@@ -1,0 +1,276 @@
+"""Tests for repro.sim.shard: planning, fallbacks, parity, lookahead audit.
+
+The contract under test is the one docs/performance.md states: sharding
+is a pure wall-clock knob.  Every supported configuration must produce a
+``run_campus_day`` summary byte-identical to the single-process driver's,
+and every unsupported configuration must degrade to that driver with a
+warning — never crash, never silently change results.
+"""
+
+import os
+import subprocess
+import sys
+import warnings
+
+import pytest
+
+from repro import ITCSystem, SystemConfig
+from repro.faults.plan import clean_plan
+from repro.sim.shard import ShardConfig, plan_shards, run_sharded_campus_day
+from repro.vice.replication import ReplicationConfig
+from repro.workload import provision_campus, run_campus_day
+
+_BENCHMARKS = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                           "benchmarks")
+
+
+def small_sharded_campus(clusters=3, workstations_per_cluster=4, sharding=None,
+                         **overrides):
+    """A multi-cluster campus provisioned like the campus benches."""
+    config = SystemConfig(
+        mode="revised",
+        clusters=clusters,
+        workstations_per_cluster=workstations_per_cluster,
+        functional_payload_crypto=False,
+        cache_max_files=120,
+        sharding=sharding,
+        **overrides,
+    )
+    campus = ITCSystem(config)
+    with campus.batch_setup():
+        users = provision_campus(campus, hot_files=6, cold_files=8,
+                                 shared_files=10, binary_files=4)
+    return campus, users
+
+
+DAY = dict(duration=300.0, warmup=60.0)
+
+
+# ----------------------------------------------------------------------
+# planning and lookahead math
+# ----------------------------------------------------------------------
+
+class TestPlanShards:
+    def test_round_robin_assignment_and_hub_ownership(self):
+        campus, _users = small_sharded_campus(clusters=5)
+        plan, reason = plan_shards(campus.config, campus.network,
+                                   ShardConfig(workers=2))
+        assert reason is None
+        assert plan.assignment == (0, 1, 0, 1, 0)
+        assert plan.hub == 0
+        assert "backbone" in plan.owned_segments[0]
+        assert plan.owned_segments[0] >= {"cluster0", "cluster2", "cluster4"}
+        assert plan.owned_segments[1] == {"cluster1", "cluster3"}
+
+    def test_lookahead_spokes_own_bridges_hub_spoke_bridges(self):
+        campus, _users = small_sharded_campus(clusters=4)
+        network = campus.network
+        # Give each cluster's bridge a distinct delay so the mins are
+        # attributable: cluster i -> 1ms * (i + 1).
+        for bridge in network.bridges:
+            names = {bridge.side_a.name, bridge.side_b.name}
+            cluster = int((names - {"backbone"}).pop().removeprefix("cluster"))
+            bridge.forwarding_delay = 0.001 * (cluster + 1)
+        plan, reason = plan_shards(campus.config, network, ShardConfig(workers=2))
+        assert reason is None
+        # Shard 1 (spoke) owns clusters 1 and 3: arrivals cross its own
+        # bridges -> min(2ms, 4ms).
+        assert plan.lookahead[1] == pytest.approx(0.002)
+        # Shard 0 (hub) receives across the *senders'* bridges — the
+        # spoke-owned clusters 1 and 3 — not its own clusters 0 and 2.
+        assert plan.lookahead[0] == pytest.approx(0.002)
+
+    def test_workers_clamped_to_cluster_count(self):
+        campus, _users = small_sharded_campus(clusters=2)
+        plan, reason = plan_shards(campus.config, campus.network,
+                                   ShardConfig(workers=8))
+        assert reason is None
+        assert plan.workers == 2
+
+    def test_explicit_assignment(self):
+        campus, _users = small_sharded_campus(clusters=3)
+        plan, reason = plan_shards(campus.config, campus.network,
+                                   ShardConfig(workers=2, assignment=(0, 0, 1)))
+        assert reason is None
+        assert plan.clusters_of(0) == [0, 1]
+        assert plan.clusters_of(1) == [2]
+
+
+class TestPlanFallbacks:
+    def _reason(self, campus, sharding=ShardConfig(workers=2)):
+        plan, reason = plan_shards(campus.config, campus.network, sharding)
+        assert plan is None
+        return reason
+
+    def test_single_cluster(self):
+        campus, _users = small_sharded_campus(clusters=1)
+        assert "single-cluster" in self._reason(campus)
+
+    def test_zero_lookahead_bridge(self):
+        campus, _users = small_sharded_campus()
+        campus.network.bridges[0].forwarding_delay = 0.0
+        assert "zero lookahead" in self._reason(campus)
+
+    def test_replication(self):
+        campus, _users = small_sharded_campus(
+            replication=ReplicationConfig(factor=2))
+        assert "replication" in self._reason(campus)
+
+    def test_fault_plan(self):
+        campus, _users = small_sharded_campus(fault_plan=clean_plan())
+        assert "fault plans" in self._reason(campus)
+
+    def test_deferred_write_policy(self):
+        campus, _users = small_sharded_campus(write_policy="deferred")
+        assert "write policy" in self._reason(campus)
+
+    def test_invalid_explicit_assignment(self):
+        campus, _users = small_sharded_campus(clusters=3)
+        assert "invalid" in self._reason(
+            campus, ShardConfig(workers=2, assignment=(0, 0)))
+
+    def test_assignment_leaving_a_worker_empty(self):
+        campus, _users = small_sharded_campus(clusters=3)
+        assert "empty" in self._reason(
+            campus, ShardConfig(workers=2, assignment=(0, 0, 0)))
+
+    def test_zero_workers(self):
+        campus, _users = small_sharded_campus()
+        assert "workers" in self._reason(campus, ShardConfig(workers=0))
+
+    def test_unconfigured(self):
+        campus, _users = small_sharded_campus()
+        plan, reason = plan_shards(campus.config, campus.network, None)
+        assert plan is None
+        assert "not configured" in reason
+
+
+# ----------------------------------------------------------------------
+# lazy import: an unsharded run must never load the module
+# ----------------------------------------------------------------------
+
+def test_unsharded_runs_never_import_shard_module():
+    code = (
+        "import sys\n"
+        "import repro.system.config, repro.system.itc, repro.workload\n"
+        "from repro import ITCSystem, SystemConfig\n"
+        "campus = ITCSystem(SystemConfig(clusters=1,"
+        " workstations_per_cluster=1))\n"
+        "assert 'repro.sim.shard' not in sys.modules, 'shard module leaked'\n"
+    )
+    src = os.path.join(os.path.dirname(_BENCHMARKS), "src")
+    env = dict(os.environ, PYTHONPATH=src)
+    result = subprocess.run([sys.executable, "-c", code], env=env,
+                            capture_output=True, text=True)
+    assert result.returncode == 0, result.stderr
+
+
+# ----------------------------------------------------------------------
+# parity: sharded summaries are byte-identical to the single process
+# ----------------------------------------------------------------------
+
+class TestParity:
+    @pytest.fixture(scope="class")
+    def reference(self):
+        campus, users = small_sharded_campus()
+        return run_campus_day(campus, users, **DAY)
+
+    @pytest.mark.parametrize("workers", [1, 2, 3])
+    def test_byte_identical_summary(self, reference, workers):
+        campus, users = small_sharded_campus(
+            sharding=ShardConfig(workers=workers))
+        summary = run_campus_day(campus, users, **DAY)
+        assert summary == reference
+
+    def test_explicit_assignment_parity(self, reference):
+        campus, users = small_sharded_campus(
+            sharding=ShardConfig(workers=2, assignment=(1, 0, 0)))
+        summary = run_campus_day(campus, users, **DAY)
+        assert summary == reference
+
+
+def test_campus_200_determinism_regression():
+    """The acceptance shape: 200 workstations, bench_campus provisioning.
+
+    Byte-identical summaries across unsharded, workers=1 and workers=4
+    with the same seed — the guard against any drift in handoff timing,
+    injection order or merge arithmetic at the real campus scale.
+    """
+    if _BENCHMARKS not in sys.path:
+        sys.path.insert(0, _BENCHMARKS)
+    from bench_campus import build_campus
+
+    day = dict(duration=40.0, warmup=20.0)
+    shape = dict(clusters=4, workstations_per_cluster=50,
+                 projects_per_dept=25, projects_per_user=3)
+
+    campus, users = build_campus(**shape)
+    reference = run_campus_day(campus, users, **day)
+    for workers in (1, 4):
+        campus, users = build_campus(sharding=ShardConfig(workers=workers),
+                                     **shape)
+        assert run_campus_day(campus, users, **day) == reference
+
+
+# ----------------------------------------------------------------------
+# lookahead audit and engine stats
+# ----------------------------------------------------------------------
+
+def test_lookahead_audit_clean_and_handoffs_flow():
+    campus, users = small_sharded_campus(
+        sharding=ShardConfig(workers=3, audit=True))
+    stats = []
+    run_sharded_campus_day(campus, users, stats_sink=stats, **DAY)
+    assert len(stats) == 3
+    assert sum(s["handoffs_out"] for s in stats) > 0
+    # Hub forwards spoke->spoke traffic: in == out across the star.
+    assert (sum(s["handoffs_out"] for s in stats)
+            == sum(s["handoffs_in"] for s in stats))
+    for s in stats:
+        # No shard ever executed an event below an already-executed
+        # window bound — the conservative-lookahead soundness invariant.
+        assert s["lookahead_violations"] == 0
+        assert s["windows"] > 0
+    # Lockstep windows: every worker ran the same number of rounds.
+    assert len({s["windows"] for s in stats}) == 1
+
+
+# ----------------------------------------------------------------------
+# runtime fallback behavior
+# ----------------------------------------------------------------------
+
+class TestRuntimeFallback:
+    def test_unsupported_config_warns_registers_gauge_and_matches(self):
+        campus, users = small_sharded_campus(fault_plan=clean_plan(),
+                                             sharding=ShardConfig(workers=2))
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            summary = run_campus_day(campus, users, **DAY)
+        assert any("sharding disabled" in str(w.message) for w in caught
+                   if issubclass(w.category, RuntimeWarning))
+        assert "fault plans" in campus.metrics.value("sim.shard.fallback")["value"]
+
+        reference_campus, reference_users = small_sharded_campus(
+            fault_plan=clean_plan())
+        reference = run_campus_day(reference_campus, reference_users, **DAY)
+        assert summary == reference
+
+    def test_single_cluster_degrades_transparently(self):
+        campus, users = small_sharded_campus(clusters=1,
+                                             sharding=ShardConfig(workers=2))
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            summary = run_campus_day(campus, users, **DAY)
+        assert any("single-cluster" in str(w.message) for w in caught)
+        assert "single-cluster" in campus.metrics.value("sim.shard.fallback")["value"]
+        assert summary["failures"] == 0
+
+    def test_zero_lookahead_degrades_transparently(self):
+        campus, users = small_sharded_campus(sharding=ShardConfig(workers=2))
+        for bridge in campus.network.bridges:
+            bridge.forwarding_delay = 0.0
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            summary = run_campus_day(campus, users, **DAY)
+        assert any("zero lookahead" in str(w.message) for w in caught)
+        assert summary["actions"] > 0
