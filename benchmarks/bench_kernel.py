@@ -156,6 +156,47 @@ def session_roundtrip(size: int = 65_536, messages: int = 50) -> float:
 
 
 # ----------------------------------------------------------------------
+# erasure codec (repro.vice.erasure GF(256) hot loop)
+# ----------------------------------------------------------------------
+
+def erasure_encode(size: int = 262_144, k: int = 4, m: int = 2,
+                   repeats: int = 10) -> float:
+    """Wall seconds to stripe ``repeats`` ``size``-byte buffers into k+m.
+
+    The whole-buffer translate/xor fast path: each parity fragment is a
+    GF(256) linear combination computed with ``bytes.translate`` lookup
+    tables, the same vectorization style as the session cipher.
+    """
+    from repro.vice.erasure import encode
+
+    data = os.urandom(size)
+    start = time.perf_counter()
+    for _ in range(repeats):
+        encode(data, k, m)
+    return time.perf_counter() - start
+
+
+def erasure_decode_degraded(size: int = 262_144, k: int = 4, m: int = 2,
+                            repeats: int = 10) -> float:
+    """Wall seconds for worst-case degraded reconstruction.
+
+    Drops ``m`` *data* fragments so every repeat pays the full price: a
+    k-by-k matrix inversion plus ``k`` translate/xor linear combinations
+    per missing fragment — the path a degraded read takes when parity
+    must stand in for dead servers.
+    """
+    from repro.vice.erasure import decode, encode
+
+    data = os.urandom(size)
+    frags = encode(data, k, m)
+    survivors = {i: frags[i] for i in range(m, k + m)}  # lose data frags 0..m-1
+    start = time.perf_counter()
+    for _ in range(repeats):
+        decode(dict(survivors), k, m, size)
+    return time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
 # shard channel (repro.sim.shard cross-worker packet path)
 # ----------------------------------------------------------------------
 
@@ -221,6 +262,8 @@ _FULL = {
     "cancel_churn_heap": lambda: cancel_churn("heap"),
     "crypto_seal_unseal_64k": lambda: crypto_seal_unseal(),
     "session_roundtrip_64k": lambda: session_roundtrip(),
+    "erasure_encode_256k": lambda: erasure_encode(),
+    "erasure_decode_degraded_256k": lambda: erasure_decode_degraded(),
     "shard_packet_pickle": lambda: shard_packet_pickle(),
     "shard_channel_churn": lambda: shard_channel_churn(),
 }
@@ -238,6 +281,8 @@ _SMOKE = {
     "cancel_churn_heap": (lambda: cancel_churn("heap", rpcs=5_000, pending=200), 0.060),
     "crypto_seal_unseal_64k": (lambda: crypto_seal_unseal(repeats=10), 0.035),
     "session_roundtrip_64k": (lambda: session_roundtrip(messages=25), 0.075),
+    "erasure_encode_64k": (lambda: erasure_encode(size=65_536, repeats=5), 0.008),
+    "erasure_decode_degraded_64k": (lambda: erasure_decode_degraded(size=65_536, repeats=5), 0.009),
     "shard_packet_pickle": (lambda: shard_packet_pickle(batches=200), 0.015),
     "shard_channel_churn": (lambda: shard_channel_churn(batches=200), 0.020),
 }
@@ -300,6 +345,15 @@ def test_crypto_seal_unseal(benchmark):
 
 def test_session_roundtrip(benchmark):
     benchmark.pedantic(session_roundtrip, rounds=3, iterations=1, warmup_rounds=1)
+
+
+def test_erasure_encode(benchmark):
+    benchmark.pedantic(erasure_encode, rounds=3, iterations=1, warmup_rounds=1)
+
+
+def test_erasure_decode_degraded(benchmark):
+    benchmark.pedantic(erasure_decode_degraded, rounds=3, iterations=1,
+                       warmup_rounds=1)
 
 
 def test_shard_packet_pickle(benchmark):

@@ -48,10 +48,12 @@ if __package__ is None or __package__ == "":  # running as a script
 
 from repro import ITCSystem, SystemConfig
 from repro.faults import Fault, FaultPlan, clean_plan
+from repro.vice.erasure import ErasureConfig, stripe_health
 from repro.vice.replication import ReplicationConfig
 from repro.workload import provision_campus, run_campus_day
 
-__all__ = ["run_redundancy_benchmark", "SHAPE", "SMOKE_SHAPE"]
+__all__ = ["run_redundancy_benchmark", "run_erasure_smoke",
+           "SHAPE", "SMOKE_SHAPE", "ERASURE_SCHEME", "ERASURE_SMOKE_SCHEME"]
 
 # Three clusters so factor-2 volumes keep a spare to re-replicate onto
 # after a failover, and factor 3 actually spans three custodians.
@@ -60,11 +62,20 @@ SHAPE = dict(clusters=3, workstations_per_cluster=4,
 FACTORS = (1, 2, 3)
 PLANS = ("clean", "server-crash", "lossy-backbone", "partition")
 
+# The coded column: k+m fragments on k+m servers plus one spare to
+# rebuild onto, contrasted against the replication factors above.
+ERASURE_SCHEME = (4, 2)
+ERASURE_SHAPE = dict(clusters=7, workstations_per_cluster=4,
+                     duration=1800.0, warmup=300.0)
+
 # Scaled down for CI: the corner factors under the two decisive plans.
 SMOKE_SHAPE = dict(clusters=3, workstations_per_cluster=2,
                    duration=600.0, warmup=60.0)
 SMOKE_FACTORS = (1, 3)
 SMOKE_PLANS = ("clean", "server-crash")
+# The coded smoke column: 2+1 fits the three smoke servers exactly (no
+# spare — lost fragments heal at rejoin instead of rebuild-onto-spare).
+ERASURE_SMOKE_SCHEME = (2, 1)
 
 # Absolute wall-clock budget for --smoke, seconds (whole matrix).  The
 # smoke matrix takes a couple of seconds on the reference container; the
@@ -101,27 +112,40 @@ def _plan_for(name, shape):
 
 
 def _storage(campus):
-    """(bytes in one copy of everything, bytes across all copies)."""
+    """(bytes in one copy of everything, bytes across all copies).
+
+    Replicated copies store whole file bodies (``used_bytes``); coded
+    stripe members store fragments (``fragment_bytes``) while the
+    logical file size lives in ``logical_bytes``.  Counting both makes
+    the same ``overhead`` field report ≈N for factor-N replication and
+    ≈(k+m)/k for a k+m stripe.
+    """
     total = 0
     primary = 0
     for server in campus.servers:
         for volume in server.volumes.values():
-            total += volume.used_bytes
+            total += volume.used_bytes + volume.fragment_bytes
             if volume.replica_role != "secondary":
-                primary += volume.used_bytes
+                primary += volume.used_bytes + volume.logical_bytes
     return primary, total
 
 
-def _run_cell(factor, plan, shape):
-    """One campus day at one replication factor under one plan."""
+def _run_cell(factor, plan, shape, erasure=None):
+    """One campus day at one redundancy setting under one plan."""
     start_wall = time.perf_counter()
-    replication = ReplicationConfig(factor=factor) if factor > 1 else None
+    if erasure is not None:
+        replication = None
+        econf = ErasureConfig(data=erasure[0], parity=erasure[1])
+    else:
+        econf = None
+        replication = ReplicationConfig(factor=factor) if factor > 1 else None
     campus = ITCSystem(SystemConfig(
         mode="revised",
         clusters=shape["clusters"],
         workstations_per_cluster=shape["workstations_per_cluster"],
         functional_payload_crypto=False,
         replication=replication,
+        erasure=econf,
         fault_plan=plan,
     ))
     users = provision_campus(campus, hot_files=8, cold_files=8,
@@ -173,11 +197,33 @@ def _run_cell(factor, plan, shape):
             "rereplications": controller.rereplications,
             "rejoins": controller.rejoins,
         }
+    if erasure is not None:
+        row["erasure"] = list(erasure)
+        row["degraded_reads"] = sum(
+            ws.venus.degraded_reads for ws in campus.workstations
+        )
+        row["rebuild"] = {
+            "bytes": sum(s.replication.rebuild_bytes for s in campus.servers
+                         if s.replication is not None),
+            "stripe_repairs": sum(
+                s.replication.stripe_repairs for s in campus.servers
+                if s.replication is not None
+            ),
+        }
+        row["stripe_health"] = round(stripe_health(campus), 6)
+        row["controller"]["rebuilds"] = controller.rebuilds
+        row["controller"]["rebuild_failures"] = controller.rebuild_failures
     return row
 
 
-def run_redundancy_benchmark(shape=None, factors=FACTORS, plans=PLANS) -> dict:
-    """The whole matrix; returns the report dict keyed factor -> plan."""
+def run_redundancy_benchmark(shape=None, factors=FACTORS, plans=PLANS,
+                             erasure=None, erasure_shape=None) -> dict:
+    """The whole matrix; returns the report dict keyed factor -> plan.
+
+    With ``erasure=(k, m)`` the report gains a coded column under
+    ``report["erasure"]`` — same plans, own campus shape (a k+m stripe
+    needs k+m servers, plus a spare to rebuild onto).
+    """
     if shape is None:
         shape = SHAPE
     report = {"shape": dict(shape), "factors": {}}
@@ -186,7 +232,24 @@ def run_redundancy_benchmark(shape=None, factors=FACTORS, plans=PLANS) -> dict:
         for name in plans:
             rows[name] = _run_cell(factor, _plan_for(name, shape), shape)
         report["factors"][str(factor)] = rows
+    if erasure is not None:
+        eshape = dict(shape, **(erasure_shape or {}))
+        label = f"{erasure[0]}+{erasure[1]}"
+        rows = {
+            name: _run_cell(label, _plan_for(name, eshape), eshape,
+                            erasure=erasure)
+            for name in plans
+        }
+        report["erasure"] = {"scheme": list(erasure), "shape": eshape,
+                             "rows": rows}
     return report
+
+
+def run_erasure_smoke() -> dict:
+    """The scaled-down coded column alone (CI's ``make erasure-smoke``)."""
+    return run_redundancy_benchmark(SMOKE_SHAPE, factors=(),
+                                    plans=SMOKE_PLANS,
+                                    erasure=ERASURE_SMOKE_SCHEME)
 
 
 def _print_report(report: dict) -> None:
@@ -197,16 +260,27 @@ def _print_report(report: dict) -> None:
     print(f"  {'factor':>6s} {'plan':16s} {'avail':>7s} {'fail':>5s} "
           f"{'MTTR p50':>9s} {'MTTR p90':>9s} {'failovers':>9s} "
           f"{'lost':>5s} {'storage':>8s} {'wall s':>7s}")
-    for factor, rows in report["factors"].items():
+    def _rows(label, rows):
         for name, row in rows.items():
             mttr = row["mttr"]
             failovers = row.get("controller", {}).get("promotions", 0)
-            print(f"  {factor:>6s} {name:16s} {row['availability']:7.2%} "
+            print(f"  {label:>6s} {name:16s} {row['availability']:7.2%} "
                   f"{row['failures']:>5d} {mttr['p50']:>8.1f}s "
                   f"{mttr['p90']:>8.1f}s {failovers:>9d} "
                   f"{row['lost_writes']['total']:>5d} "
                   f"{row['storage']['overhead']:>7.2f}x "
                   f"{row['wall_seconds']:>7.2f}")
+
+    for factor, rows in report["factors"].items():
+        _rows(factor, rows)
+    coded = report.get("erasure")
+    if coded:
+        _rows("+".join(str(n) for n in coded["scheme"]), coded["rows"])
+        for name, row in coded["rows"].items():
+            print(f"         {name:16s} degraded reads {row['degraded_reads']}, "
+                  f"rebuild {row['rebuild']['bytes']} B in "
+                  f"{row['rebuild']['stripe_repairs']} repairs, "
+                  f"stripe health {row['stripe_health']:.2f}")
 
 
 def _gate(report: dict) -> int:
@@ -220,15 +294,63 @@ def _gate(report: dict) -> int:
                   f"{clean['failures']} failures, {clean['outages']} outages",
                   file=sys.stderr)
             status = 1
-    base = factors.get("1", {}).get("server-crash")
-    best = factors.get(max(factors, key=int), {}).get("server-crash")
-    if base and best and best is not base:
-        if best["availability"] < base["availability"]:
-            print(f"replication did not help: factor {max(factors, key=int)} "
-                  f"availability {best['availability']:.4f} < factor 1 "
-                  f"{base['availability']:.4f} under server-crash",
-                  file=sys.stderr)
-            status = 1
+    for factor, rows in factors.items():
+        clean = rows.get("clean")
+        if clean and int(factor) > 1:
+            overhead = clean["storage"]["overhead"]
+            if abs(overhead - int(factor)) > 0.15 * int(factor):
+                print(f"factor {factor} storage overhead {overhead:.2f}x "
+                      f"not ≈{factor}x", file=sys.stderr)
+                status = 1
+    if factors:
+        base = factors.get("1", {}).get("server-crash")
+        best = factors.get(max(factors, key=int), {}).get("server-crash")
+        if base and best and best is not base:
+            if best["availability"] < base["availability"]:
+                print(f"replication did not help: factor "
+                      f"{max(factors, key=int)} availability "
+                      f"{best['availability']:.4f} < factor 1 "
+                      f"{base['availability']:.4f} under server-crash",
+                      file=sys.stderr)
+                status = 1
+    coded = report.get("erasure")
+    if coded:
+        k, m = coded["scheme"]
+        expected = (k + m) / k
+        clean = coded["rows"].get("clean")
+        if clean:
+            if clean["failures"] or clean["outages"]:
+                print(f"coded clean plan not clean: {clean['failures']} "
+                      f"failures, {clean['outages']} outages", file=sys.stderr)
+                status = 1
+            overhead = clean["storage"]["overhead"]
+            if abs(overhead - expected) > 0.1 * expected:
+                print(f"coded storage overhead {overhead:.2f}x not "
+                      f"≈{expected:.2f}x", file=sys.stderr)
+                status = 1
+        crash = coded["rows"].get("server-crash")
+        if crash:
+            # The coded column's promise: degrade-read through a dead
+            # server with zero lost writes, and heal the stripe.
+            if crash["lost_writes"]["total"]:
+                print(f"coded server-crash lost "
+                      f"{crash['lost_writes']['total']} writes",
+                      file=sys.stderr)
+                status = 1
+            if crash["degraded_reads"] == 0:
+                print("coded server-crash saw no degraded reads",
+                      file=sys.stderr)
+                status = 1
+            if crash["stripe_health"] < 1.0:
+                print(f"stripe health {crash['stripe_health']:.2f} "
+                      f"not restored after server-crash", file=sys.stderr)
+                status = 1
+            factor2 = factors.get("2", {}).get("server-crash")
+            if factor2 and crash["availability"] < factor2["availability"]:
+                print(f"coded availability {crash['availability']:.4f} < "
+                      f"factor-2 {factor2['availability']:.4f} under "
+                      f"server-crash", file=sys.stderr)
+                status = 1
     return status
 
 
@@ -237,14 +359,24 @@ def main() -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="corner factors x decisive plans under a hard "
                              "time budget (CI)")
+    parser.add_argument("--erasure-smoke", action="store_true",
+                        help="scaled-down coded column alone: clean must "
+                             "stay clean, server-crash must degrade-read "
+                             "through with zero lost writes (CI)")
     parser.add_argument("--json", metavar="FILE", default="",
                         help="also write the report as JSON")
     args = parser.parse_args()
 
-    shape = SMOKE_SHAPE if args.smoke else SHAPE
-    factors = SMOKE_FACTORS if args.smoke else FACTORS
-    plans = SMOKE_PLANS if args.smoke else PLANS
-    report = run_redundancy_benchmark(shape, factors, plans)
+    if args.erasure_smoke:
+        report = run_erasure_smoke()
+    else:
+        shape = SMOKE_SHAPE if args.smoke else SHAPE
+        factors = SMOKE_FACTORS if args.smoke else FACTORS
+        plans = SMOKE_PLANS if args.smoke else PLANS
+        erasure = None if args.smoke else ERASURE_SCHEME
+        report = run_redundancy_benchmark(shape, factors, plans,
+                                          erasure=erasure,
+                                          erasure_shape=ERASURE_SHAPE)
     _print_report(report)
     status = _gate(report)
 
@@ -255,10 +387,11 @@ def main() -> int:
             handle.write("\n")
         print(f"wrote {args.json}")
 
-    if args.smoke:
-        wall_total = sum(row["wall_seconds"]
-                         for rows in report["factors"].values()
-                         for row in rows.values())
+    if args.smoke or args.erasure_smoke:
+        all_rows = [row for rows in report["factors"].values()
+                    for row in rows.values()]
+        all_rows += list(report.get("erasure", {}).get("rows", {}).values())
+        wall_total = sum(row["wall_seconds"] for row in all_rows)
         verdict = "ok" if wall_total <= SMOKE_BUDGET_SECONDS else "TOO SLOW"
         print(f"smoke budget: {wall_total:.2f} s of "
               f"{SMOKE_BUDGET_SECONDS:.1f} s allowed  {verdict}")

@@ -48,7 +48,7 @@ from bench_metropolis import (SHARD_SMOKE_SCALE, SHARD_SMOKE_WORKERS,
                               run_workers_sweep)
 from bench_redundancy import SMOKE_FACTORS, SMOKE_PLANS
 from bench_redundancy import SMOKE_SHAPE as REDUNDANCY_SMOKE_SHAPE
-from bench_redundancy import run_redundancy_benchmark
+from bench_redundancy import ERASURE_SMOKE_SCHEME, run_redundancy_benchmark
 from bench_scalability import run_concurrent
 from bench_soak import TRACKED_SHAPE as SOAK_TRACKED_SHAPE
 from bench_soak import run_soak_benchmark
@@ -189,8 +189,11 @@ def collect() -> dict:
     print("redundancy matrix (replication factor x fault plan)...")
     # Corner cells only: the full matrix is bench_redundancy's own run;
     # the tracked harness records the CI-budget variant.
+    # The coded rows ride along: same smoke shape, 2+1 stripe, so the
+    # tracked JSON records replication vs coding side by side.
     report["redundancy"] = run_redundancy_benchmark(
-        REDUNDANCY_SMOKE_SHAPE, SMOKE_FACTORS, SMOKE_PLANS
+        REDUNDANCY_SMOKE_SHAPE, SMOKE_FACTORS, SMOKE_PLANS,
+        erasure=ERASURE_SMOKE_SCHEME
     )
     print("soak (invariant-checked chaos run, tracked shape)...")
     # The continuous-soak gate at the tracked shape: records soak events/s
@@ -285,6 +288,18 @@ def summarize(report: dict) -> str:
                     f"{row['availability']:8.2%}  failovers {promotions:<3d}"
                     f" lost {row['lost_writes']['total']:<3d}"
                     f" storage {row['storage']['overhead']:.2f}x"
+                )
+        erasure = report["redundancy"].get("erasure")
+        if erasure:
+            for name, row in erasure["rows"].items():
+                rebuild = row.get("rebuild", {})
+                lines.append(
+                    f"  coded {erasure['scheme']} {name:13s} avail "
+                    f"{row['availability']:8.2%}  degraded "
+                    f"{row.get('degraded_reads', 0):<3d}"
+                    f" lost {row['lost_writes']['total']:<3d}"
+                    f" storage {row['storage']['overhead']:.2f}x"
+                    f" repair {rebuild.get('bytes', 0):,} B"
                 )
     if report.get("soak"):
         soak = report["soak"]

@@ -242,12 +242,22 @@ def cmd_chaos(args) -> int:
         from repro.vice.replication import ReplicationConfig
 
         replication = ReplicationConfig(factor=args.replication)
+    erasure = None
+    if args.erasure:
+        from repro.vice.erasure import ErasureConfig
+
+        try:
+            k, m = (int(part) for part in args.erasure.split(","))
+        except ValueError:
+            print(f"--erasure wants K,M (e.g. 4,2), got {args.erasure!r}")
+            return 2
+        erasure = ErasureConfig(data=k, parity=m)
     campus = ITCSystem(
         SystemConfig(mode=args.mode, clusters=args.clusters,
                      workstations_per_cluster=args.workstations,
                      functional_payload_crypto=False,
                      seed=args.seed, fault_plan=plan,
-                     replication=replication)
+                     replication=replication, erasure=erasure)
     )
     if args.trace:
         _attach_recorder(args, campus)
@@ -271,7 +281,20 @@ def cmd_chaos(args) -> int:
         print(f"time to first success after recovery: mean {ttfs['mean']:.1f}s, "
               f"p90 {ttfs['p90']:.1f}s")
     controller = campus.replication_controller
-    if controller is not None:
+    if controller is not None and erasure is not None:
+        degraded = sum(ws.venus.degraded_reads for ws in campus.workstations)
+        rebuild_bytes = sum(
+            s.replication.rebuild_bytes for s in campus.servers
+            if s.replication is not None
+        )
+        print(f"erasure ({erasure.data}+{erasure.parity}): "
+              f"{controller.deaths_declared} deaths declared, "
+              f"{controller.promotions} promotions, "
+              f"{controller.rebuilds} stripe rebuilds, "
+              f"{controller.rejoins} rejoins; "
+              f"{degraded} degraded reads, "
+              f"{rebuild_bytes} repair-traffic bytes")
+    elif controller is not None:
         print(f"replication (factor {args.replication}): "
               f"{controller.deaths_declared} deaths declared, "
               f"{controller.promotions} promotions, "
@@ -566,6 +589,11 @@ def main(argv=None) -> int:
     chaos.add_argument("--replication", type=int, default=1, metavar="N",
                        help="replicate each volume on N servers with heartbeat "
                             "failover (default 1 = off; revised mode only)")
+    chaos.add_argument("--erasure", default="", metavar="K,M",
+                       help="erasure-code each volume into K data + M parity "
+                            "fragments on distinct servers, with degraded "
+                            "reads and background rebuild (default off; "
+                            "revised mode only, exclusive with --replication)")
     chaos.add_argument("--timeline", metavar="FILE", default="",
                        help="write the fault/outage timeline as JSON")
     obs_flags(chaos)

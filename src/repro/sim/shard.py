@@ -151,6 +151,8 @@ def plan_shards(config, network, sharding: Optional[ShardConfig] = None):
         return None, "single-cluster campus: nothing to shard"
     if config.replication is not None:
         return None, "replication is not supported under sharding"
+    if getattr(config, "erasure", None) is not None:
+        return None, "erasure coding is not supported under sharding"
     if config.fault_plan is not None:
         return None, "fault plans are not supported under sharding"
     if config.write_policy != "on-close":

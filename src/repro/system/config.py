@@ -12,8 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Optional
 
-if TYPE_CHECKING:  # import kept lazy: unsharded runs never load the module
+if TYPE_CHECKING:  # imports kept lazy: plain runs never load the modules
     from repro.sim.shard import ShardConfig
+    from repro.vice.erasure import ErasureConfig
 
 from repro.faults.plan import FaultPlan
 from repro.rpc.costs import EncryptionMode, RpcCosts
@@ -83,6 +84,12 @@ class SystemConfig:
     # hooks, keeping the campus byte-identical to pre-replication builds.
     # Revised mode only.
     replication: Optional[ReplicationConfig] = None
+
+    # Erasure-coded storage (see repro.vice.erasure).  None — the default
+    # — imports nothing and keeps the campus byte-identical; an
+    # ErasureConfig stripes every volume into k data + m parity fragments
+    # on distinct servers.  Revised mode only; exclusive with replication.
+    erasure: Optional["ErasureConfig"] = None
 
     # Fault injection (see repro.faults).  None keeps every fault hook off
     # and the campus byte-identical to a build without the faults package;

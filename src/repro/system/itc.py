@@ -96,6 +96,42 @@ class ITCSystem:
             for workstation in self.workstations:
                 workstation.venus.enable_failover(all_names)
 
+        # Erasure-coded storage (repro.vice.erasure): same controller and
+        # per-server agent shape as replication — subclasses of it — plus
+        # fragment-aware Venus fetch.  The module is imported only here,
+        # so plain campuses never load it.
+        if self.config.erasure is not None:
+            if self.config.mode == "prototype":
+                raise InvalidArgument(
+                    "erasure coding requires the revised implementation"
+                )
+            if self.config.replication is not None:
+                raise InvalidArgument(
+                    "erasure coding and read-write replication are exclusive"
+                )
+            econf = self.config.erasure
+            if len(self.servers) < econf.width:
+                raise InvalidArgument(
+                    f"ErasureConfig({econf.data}+{econf.parity}) needs"
+                    f" {econf.width} servers, have {len(self.servers)}"
+                )
+            from repro.vice.erasure import ErasureController, ServerErasure
+
+            self.replication_controller = ErasureController(
+                self.sim,
+                self.network,
+                econf,
+                self.service_key,
+                rpc_costs=rpc_costs_for(self.config),
+                encryption=self.config.encryption,
+            )
+            for server in self.servers:
+                server.replication = ServerErasure(server, econf)
+                self.replication_controller.register_server(server.host.name)
+            all_names = [s.host.name for s in self.servers]
+            for workstation in self.workstations:
+                workstation.venus.enable_erasure(all_names)
+
         # Master copies of the replicated databases; setup-time mutations
         # apply here and are pushed to every server replica.
         self._location_master = self.servers[0].location
@@ -249,6 +285,9 @@ class ITCSystem:
         to every copy in the same order — assign identical vnode numbers,
         and Venus fid caches survive a failover unchanged.
         """
+        if self.config.erasure is not None:
+            self._attach_stripe(volume, server, entry)
+            return
         rconf = self.config.replication
         if rconf is None or rconf.factor < 2 or len(self.servers) < 2:
             return
@@ -268,6 +307,35 @@ class ITCSystem:
             copy.fs._inode_numbers = itertools.count(2)
             self._server_by_name[name].add_volume(copy)
         entry.replicas = replicas
+
+    def _attach_stripe(self, volume: Volume, server: ViceServer, entry) -> None:
+        """Place stripe-member copies: slot i of entry.replicas holds
+        fragment i of every file.  Metadata is a byte-exact snapshot on
+        every member — like replication secondaries — so identical
+        setup-time mutations assign identical vnode numbers and a
+        promoted member can serve fids unchanged.
+        """
+        from repro.vice.erasure import plan_stripe
+
+        econf = self.config.erasure
+        names = plan_stripe(
+            self._location_master,
+            [s.host.name for s in self.servers],
+            server.host.name,
+            econf.width,
+        )
+        volume.replica_role = "primary"
+        volume.erasure_shape = (econf.data, econf.parity)
+        volume.erasure_index = 0
+        for index, name in enumerate(names[1:], start=1):
+            copy = Volume.from_snapshot(volume.snapshot(), clock=lambda: self.sim.now)
+            copy.replica_role = "secondary"
+            copy.erasure_index = index
+            # Realign the allocator as _attach_replicas does.
+            copy.fs._inode_numbers = itertools.count(2)
+            self._server_by_name[name].add_volume(copy)
+        entry.replicas = names
+        entry.erasure = [econf.data, econf.parity]
 
     def _all_copies(self, volume: Volume) -> List[Volume]:
         """Every server's copy of a volume, the given one first."""
@@ -311,9 +379,14 @@ class ITCSystem:
     def populate(self, volume: Volume, tree: Dict[str, bytes], owner: str = "system:administrators") -> None:
         """Pre-load files into a volume (setup-time content, no protocol)."""
         copies = self._all_copies(volume)
+        coded = copies[0].erasure_shape is not None
+        if coded:
+            from repro.vice.erasure import encode
         for path, data in sorted(tree.items()):
             path = pathutil.normalize(path)
             parent = pathutil.dirname(path)
+            if coded:
+                frags = encode(data, *copies[0].erasure_shape)
             for copy in copies:
                 if not copy.fs.exists(parent):
                     parts = pathutil.components(parent)
@@ -322,7 +395,11 @@ class ITCSystem:
                         built += "/" + part
                         if not copy.fs.exists(built):
                             copy.mkdir(built, owner=owner)
-                copy.write(path, data, owner=owner)
+                if coded:
+                    node = copy.write(path, b"", owner=owner)
+                    copy.set_fragment(node.number, frags[copy.erasure_index], len(data))
+                else:
+                    copy.write(path, data, owner=owner)
 
     def set_directory_acl(self, volume: Volume, path: str, acl: AccessList) -> None:
         """Setup-time ACL assignment on a directory inside a volume."""

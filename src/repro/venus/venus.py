@@ -138,6 +138,10 @@ class Venus:
         # the historical behavior: such errors surface immediately.
         self.failover_servers: List[str] = []
         self.failovers = 0
+        # Striped fetches that had to reconstruct around an unreachable
+        # stripe member (erasure-coded campuses only; see enable_erasure).
+        self.degraded_reads = 0
+        self._erasure_enabled = False
         self.cluster_server = cluster_server
         self.costs = costs or VenusCosts()
 
@@ -279,6 +283,20 @@ class Venus:
     def enable_failover(self, servers: List[str]) -> None:
         """Let location queries and failed calls retry at these servers."""
         self.failover_servers = list(servers)
+
+    def enable_erasure(self, servers: List[str]) -> None:
+        """Turn on fragment-aware striped fetch (erasure-coded campus).
+
+        Called by ITCSystem only when ``SystemConfig.erasure`` is set, so
+        plain campuses register no erasure instrument at all.
+        """
+        self.enable_failover(servers)
+        if not self._erasure_enabled:
+            self._erasure_enabled = True
+            self.sim.metrics.counter(
+                f"erasure.{self.host.name}.degraded_reads",
+                lambda: self.degraded_reads,
+            )
 
     def _nearest(self, servers: List[str]) -> str:
         me = self.host.name
@@ -616,9 +634,122 @@ class Venus:
         fid, ftype, server, location = yield from self._resolve_for_read(username, vice_path)
         if ftype == "directory":
             raise IsADirectory(vice_path)
+        if location.get("erasure") and ftype == "file":
+            return (yield from self._fetch_striped(
+                username, location, self._rw_fid(fid)
+            ))
         return (yield from self._fid_call(
             username, location, server, "FetchByFid", {"fid": fid}, expect_bytes=guess
         ))
+
+    def _fetch_striped(self, username: str, location: Dict, fid: str) -> Generator:
+        """Fetch a striped file: k parallel fragment reads, reassemble.
+
+        The custodian is always probed (its reply is the authoritative
+        status and carries the callback promise); the remaining ``k - 1``
+        probes go to the next stripe members in slot order.  Unreachable
+        or stale members are backfilled from the parity holders — a
+        **degraded read** reconstructing from any ``k`` of ``k + m``.
+        Custodian failures retry through the same refresh/failover path
+        as ordinary fid calls.
+        """
+        from repro.vice.erasure import decode
+
+        last_error: Optional[ReproError] = None
+        for _attempt in range(4):
+            k, m = location["erasure"]
+            custodian = location["custodian"]
+            members = list(location.get("replicas") or [custodian])
+            order = [custodian] + [n for n in members if n != custodian]
+            targets = order[:k]
+            guess = _DEFAULT_FETCH_GUESS // max(1, k)
+            results: Dict[str, tuple] = {}
+            failed: Dict[str, ReproError] = {}
+            outcome = self.sim.event()
+            state = {"done": 0}
+
+            def probe(name: str) -> Generator:
+                try:
+                    conn = yield from self._conn(username, name)
+                    reply, frag = yield from self.node.call(
+                        conn, "FetchFragment", {"fid": fid}, expect_bytes=guess
+                    )
+                except ReproError as err:
+                    failed[name] = err
+                else:
+                    results[name] = (reply, frag)
+                state["done"] += 1
+                if state["done"] == len(targets) and not outcome.triggered:
+                    outcome.succeed(True)
+
+            for name in targets:
+                self.sim.process(probe(name), name=f"fragfetch:{fid}@{name}")
+            yield outcome
+
+            primary_err = failed.get(custodian)
+            if primary_err is not None:
+                last_error = primary_err
+                if isinstance(primary_err, NotCustodian):
+                    self.hints.redirect(
+                        location["mount_path"], primary_err.custodian_hint
+                    )
+                    location = dict(
+                        location, custodian=primary_err.custodian_hint
+                    )
+                    continue
+                if (isinstance(primary_err, (ServerUnavailable, LeaseExpired))
+                        and self.failover_servers):
+                    self.failovers += 1
+                    location = yield from self._refresh_entry(username, location)
+                    continue
+                raise primary_err
+
+            status = results[custodian][0]
+            version = status["version"]
+            frags: Dict[int, bytes] = {}
+            for reply, frag in results.values():
+                index = reply.get("frag_index")
+                if index is not None and reply["version"] == version:
+                    frags[index] = frag
+            degraded = len(frags) < len(targets)
+            # Backfill from the untried members (parity holders and any
+            # data holders beyond the first k) until reconstructable.
+            for name in order[len(targets):]:
+                if len(frags) >= k:
+                    break
+                try:
+                    conn = yield from self._conn(username, name)
+                    reply, frag = yield from self.node.call(
+                        conn, "FetchFragment", {"fid": fid}, expect_bytes=guess
+                    )
+                except ReproError as err:
+                    failed[name] = err
+                    degraded = True
+                    continue
+                index = reply.get("frag_index")
+                if (index is not None and index not in frags
+                        and reply["version"] == version):
+                    frags[index] = frag
+            if len(frags) < k and status["size"]:
+                last_error = ServerUnavailable(
+                    f"stripe for {fid} unreadable:"
+                    f" {len(frags)} of {k} fragments"
+                )
+                if self.failover_servers:
+                    self.failovers += 1
+                    location = yield from self._refresh_entry(username, location)
+                    continue
+                raise last_error
+            if degraded:
+                self.degraded_reads += 1
+            if any(isinstance(err, NotCustodian) for err in failed.values()):
+                # A member referred us away: the hint's stripe membership
+                # is stale (a rebuild moved that slot).  Re-resolve next
+                # access so probes stop visiting ex-members.
+                self.hints.forget(location["mount_path"])
+            data = decode(frags, k, m, status["size"])
+            return status, data
+        raise last_error
 
     def close_file(
         self, username: str, entry: CacheEntry, new_data: Optional[bytes] = None

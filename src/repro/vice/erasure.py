@@ -1,0 +1,845 @@
+"""Erasure-coded volume storage: striped k+m fragments over GF(256).
+
+The paper buys availability with whole copies — read-only replication in
+§3.2 and (our PR 7 generalization) N-way read-write replicas, paying N×
+storage for f = N−1 fault tolerance.  This module completes the other
+half of the redundancy axis: a systematic Reed–Solomon code stripes each
+file into ``k`` data + ``m`` parity fragments placed on distinct
+servers, so the stripe survives any ``m`` failures at ``(k+m)/k``
+storage, bought with reconstruction CPU and repair traffic.
+
+Protocol summary
+----------------
+
+* Every coded volume has ``k + m`` **stripe members** (the location
+  entry's ``replicas`` list; slot order fixes each member's fragment
+  index forever).  Member 0 starts as **custodian** (primary): it holds
+  the full metadata tree like a replica, but file *data* lives only as
+  fragments — member ``i`` keeps fragment ``i`` of every file.
+* A store lands whole at the custodian, which encodes the ``k + m``
+  fragments once and ships each member its own fragment through the
+  replication fabric (``ReplicateOp`` with a ``frag`` record).  The
+  store succeeds at ``max(k, majority)`` members — never fewer holders
+  than suffice to reconstruct, so an acked write is always readable.
+* Venus fetches fragments from ``k`` members in parallel (custodian
+  first — its reply is the authoritative status and registers the
+  callback promise) and reassembles.  When members are dead or
+  partitioned it falls back to **degraded reads**: backfill from parity
+  holders and reconstruct from any ``k`` of ``k + m``
+  (``erasure.<host>.degraded_reads``).
+* The :class:`ReplicationController` heartbeat/death machinery is
+  inherited wholesale.  On a death declaration the controller promotes
+  a surviving member **without shrinking the stripe** (slots must keep
+  their indices) and orders the custodian to **rebuild** the dead slot
+  onto a spare server: gather any ``k`` fragment sets, re-encode the
+  missing index, ship a coded copy (``erasure.<host>.rebuild_bytes``,
+  ``stripe_repairs``).  A rejoining member is demoted and its slot
+  rebuilt in place the same way.
+
+Nothing here is imported unless ``SystemConfig.erasure`` is set, so
+plain campuses (and replicated ones) remain byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Generator, List, Optional, Tuple
+
+from repro.errors import (
+    FileNotFound,
+    InvalidArgument,
+    NotCustodian,
+    ReplicationError,
+    ReproError,
+    ServerUnavailable,
+)
+from repro.rpc import marshal
+from repro.rpc.connection import Connection
+from repro.storage.unixfs import FileType
+from repro.vice.ids import make_fid, split_fid
+from repro.vice.location import LocationDatabase, LocationEntry
+from repro.vice.protection import Rights
+from repro.vice.replication import (
+    ReplicationConfig,
+    ReplicationController,
+    ServerReplication,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.vice.server import ViceServer
+
+__all__ = [
+    "ErasureConfig",
+    "ErasureController",
+    "ServerErasure",
+    "decode",
+    "encode",
+    "fragment_length",
+    "plan_stripe",
+    "stripe_health",
+]
+
+
+# ----------------------------------------------------------------------
+# GF(256) arithmetic, vectorized the same way as the PR 1 cipher fast
+# path: per-coefficient 256-byte translation tables turn a field
+# scalar-multiply of a whole fragment into one bytes.translate call,
+# and fragment XOR runs whole-buffer through int.from_bytes.
+# ----------------------------------------------------------------------
+
+_GF_POLY = 0x11D  # x^8 + x^4 + x^3 + x^2 + 1, the classic RS polynomial
+
+_EXP = [0] * 512
+_LOG = [0] * 256
+_x = 1
+for _i in range(255):
+    _EXP[_i] = _x
+    _LOG[_x] = _i
+    _x <<= 1
+    if _x & 0x100:
+        _x ^= _GF_POLY
+for _i in range(255, 512):
+    _EXP[_i] = _EXP[_i - 255]
+del _x, _i
+
+
+def _gf_mul(a: int, b: int) -> int:
+    if a == 0 or b == 0:
+        return 0
+    return _EXP[_LOG[a] + _LOG[b]]
+
+
+def _gf_inv(a: int) -> int:
+    if a == 0:
+        raise ZeroDivisionError("GF(256) inverse of zero")
+    return _EXP[255 - _LOG[a]]
+
+
+# coefficient -> 256-byte translate table for y = c * x, built lazily so
+# only the coefficients a given (k, m) geometry actually uses are paid for.
+_MUL_TABLES: Dict[int, bytes] = {}
+
+
+def _mul_table(c: int) -> bytes:
+    table = _MUL_TABLES.get(c)
+    if table is None:
+        table = bytes(_gf_mul(c, v) for v in range(256))
+        _MUL_TABLES[c] = table
+    return table
+
+
+def _xor(a: bytes, b: bytes) -> bytes:
+    """Whole-buffer XOR of two equal-length fragments (cipher idiom)."""
+    return (int.from_bytes(a, "little") ^ int.from_bytes(b, "little")).to_bytes(
+        len(a), "little"
+    )
+
+
+def _scale_xor(acc: Optional[bytes], coeff: int, frag: bytes) -> Optional[bytes]:
+    """acc ^= coeff * frag over GF(256), whole-buffer."""
+    if coeff == 0:
+        return acc
+    piece = frag if coeff == 1 else frag.translate(_mul_table(coeff))
+    return piece if acc is None else _xor(acc, piece)
+
+
+def _parity_coeff(row: int, col: int, k: int) -> int:
+    """Cauchy generator entry for parity row ``row``, data column ``col``.
+
+    With x_j = k + j and y_i = i the denominators x_j ^ y_i are nonzero
+    and every k×k submatrix of [I_k ; C] is invertible, so any ``k`` of
+    the ``k + m`` fragments reconstruct the data (requires k + m <= 256).
+    """
+    return _gf_inv((k + row) ^ col)
+
+
+def fragment_length(length: int, k: int) -> int:
+    """Bytes per fragment for a ``length``-byte file striped k ways."""
+    return -(-length // k) if length else 0
+
+
+def encode(data: bytes, k: int, m: int) -> List[bytes]:
+    """Stripe ``data`` into k data + m parity fragments (systematic)."""
+    shard_len = fragment_length(len(data), k)
+    shards = [
+        bytes(data[i * shard_len:(i + 1) * shard_len]).ljust(shard_len, b"\0")
+        for i in range(k)
+    ]
+    frags = list(shards)
+    for row in range(m):
+        acc: Optional[bytes] = None
+        for col in range(k):
+            acc = _scale_xor(acc, _parity_coeff(row, col, k), shards[col])
+        frags.append(acc if acc is not None else bytes(shard_len))
+    return frags
+
+
+def _row_for(index: int, k: int) -> List[int]:
+    """Generator-matrix row that produced fragment ``index``."""
+    if index < k:
+        return [1 if col == index else 0 for col in range(k)]
+    return [_parity_coeff(index - k, col, k) for col in range(k)]
+
+
+def _invert(matrix: List[List[int]]) -> List[List[int]]:
+    """Invert a k×k GF(256) matrix by Gauss-Jordan elimination."""
+    k = len(matrix)
+    aug = [list(row) + [1 if c == r else 0 for c in range(k)]
+           for r, row in enumerate(matrix)]
+    for col in range(k):
+        pivot = next((r for r in range(col, k) if aug[r][col]), None)
+        if pivot is None:
+            raise ValueError("singular fragment matrix")
+        aug[col], aug[pivot] = aug[pivot], aug[col]
+        inv = _gf_inv(aug[col][col])
+        aug[col] = [_gf_mul(inv, v) for v in aug[col]]
+        for r in range(k):
+            if r != col and aug[r][col]:
+                factor = aug[r][col]
+                aug[r] = [v ^ _gf_mul(factor, p)
+                          for v, p in zip(aug[r], aug[col])]
+    return [row[k:] for row in aug]
+
+
+def decode(fragments: Dict[int, bytes], k: int, m: int, length: int) -> bytes:
+    """Reconstruct the original bytes from any ``k`` of the fragments.
+
+    ``fragments`` maps fragment index (0..k+m-1) to fragment bytes;
+    ``length`` is the true file length (fragments are zero-padded).
+    """
+    if length == 0:
+        return b""
+    if all(i in fragments for i in range(k)):
+        return b"".join(fragments[i] for i in range(k))[:length]
+    chosen = sorted(i for i in fragments if i < k + m)[:k]
+    if len(chosen) < k:
+        raise ValueError(
+            f"need {k} fragments to reconstruct, have {len(chosen)}"
+        )
+    inverse = _invert([_row_for(index, k) for index in chosen])
+    shard_len = len(fragments[chosen[0]])
+    shards: List[bytes] = []
+    for row in range(k):
+        acc: Optional[bytes] = None
+        for col, index in enumerate(chosen):
+            acc = _scale_xor(acc, inverse[row][col], fragments[index])
+        shards.append(acc if acc is not None else bytes(shard_len))
+    return b"".join(shards)[:length]
+
+
+# ----------------------------------------------------------------------
+# configuration
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ErasureConfig:
+    """Knobs for erasure-coded storage (``SystemConfig.erasure``)."""
+
+    # Data fragments per stripe: a file is readable from any `data` of
+    # the `data + parity` members.
+    data: int = 4
+    # Parity fragments: how many simultaneous member losses a stripe
+    # survives without losing readability.
+    parity: int = 2
+    # Heartbeat/lease knobs, identical in meaning to ReplicationConfig's.
+    heartbeat_interval: float = 5.0
+    missed_beats: int = 3
+    lease_duration: float = 15.0
+    # Rebuild lost fragment slots onto spare servers after a failover.
+    rebuild: bool = True
+    controller_cpu_speed: float = 2.0
+
+    def __post_init__(self):
+        if self.data < 1:
+            raise ValueError("erasure data fragment count must be at least 1")
+        if self.parity < 1:
+            raise ValueError("erasure parity fragment count must be at least 1")
+        if self.data + self.parity > 256:
+            raise ValueError("GF(256) stripes support at most 256 fragments")
+        if self.lease_duration > self.missed_beats * self.heartbeat_interval:
+            raise ValueError(
+                "lease_duration must not exceed missed_beats * heartbeat_interval"
+            )
+
+    @property
+    def width(self) -> int:
+        """Stripe width: total members per coded volume."""
+        return self.data + self.parity
+
+    @property
+    def storage_overhead(self) -> float:
+        """Raw-to-logical byte ratio, the (k+m)/k coding tax."""
+        return self.width / self.data
+
+    @property
+    def detection_time(self) -> float:
+        return self.missed_beats * self.heartbeat_interval
+
+    def replication_base(self) -> ReplicationConfig:
+        """The heartbeat/lease substrate the inherited machinery runs on.
+
+        factor=1 and rereplicate=False disable every whole-copy code
+        path; the erasure subclasses own membership changes.
+        """
+        return ReplicationConfig(
+            factor=1,
+            heartbeat_interval=self.heartbeat_interval,
+            missed_beats=self.missed_beats,
+            lease_duration=self.lease_duration,
+            rereplicate=False,
+            controller_cpu_speed=self.controller_cpu_speed,
+        )
+
+
+# ----------------------------------------------------------------------
+# placement
+# ----------------------------------------------------------------------
+
+
+def plan_stripe(
+    location: LocationDatabase,
+    server_names: List[str],
+    custodian: str,
+    width: int,
+) -> List[str]:
+    """Pick ``width`` distinct servers for a new stripe.
+
+    The custodian takes slot 0; remaining slots go to the least-loaded
+    servers (fewest stripe memberships already recorded in the location
+    database), ties broken by ring order from the custodian so placement
+    stays deterministic and spreads like the replication ring.
+    """
+    if width > len(server_names):
+        raise InvalidArgument(
+            f"a {width}-wide stripe needs {width} servers, have "
+            f"{len(server_names)}"
+        )
+    load = {name: 0 for name in server_names}
+    for entry in location.entries():
+        for name in entry.replicas:
+            if name in load:
+                load[name] += 1
+    start = server_names.index(custodian)
+    ring = [server_names[(start + i) % len(server_names)]
+            for i in range(len(server_names))]
+    rank = {name: i for i, name in enumerate(ring)}
+    rest = sorted(ring[1:], key=lambda name: (load[name], rank[name]))
+    return [custodian] + rest[:width - 1]
+
+
+# ----------------------------------------------------------------------
+# per-server agent
+# ----------------------------------------------------------------------
+
+
+class ServerErasure(ServerReplication):
+    """Per-server erasure agent: fragment I/O, stripe stores, rebuild.
+
+    Inherits the heartbeat loop, lease fence, and the ReplicateOp /
+    Promote / Demote / Status handlers from :class:`ServerReplication`
+    (metadata mutations on coded volumes propagate exactly like
+    replication's — full copies of an empty-data tree are cheap).
+    """
+
+    def __init__(self, server: "ViceServer", config: ErasureConfig):
+        self.econf = config
+        super().__init__(server, config.replication_base())
+        self.fragment_reads = 0
+        self.rebuild_bytes = 0
+        self.stripe_repairs = 0
+
+        node = server.node
+        node.register("FetchFragment", self._fetch_fragment_handler)
+        node.register("FetchFragmentVolume", self._fetch_fragment_volume_handler)
+        node.register("RebuildStripe", self._rebuild_stripe_handler)
+
+        name = server.host.name
+        sim = server.sim
+        sim.metrics.counter(f"erasure.{name}.rebuild_bytes",
+                            lambda: self.rebuild_bytes)
+        sim.metrics.counter(f"erasure.{name}.stripe_repairs",
+                            lambda: self.stripe_repairs)
+        sim.metrics.counter(f"erasure.{name}.fragment_reads",
+                            lambda: self.fragment_reads)
+
+    # ------------------------------------------------------------------
+    # write path (custodian side)
+    # ------------------------------------------------------------------
+
+    def propagate_fragments(
+        self, volume, record: Dict, frags: List[bytes]
+    ) -> Generator:
+        """Ship each member its own fragment of one applied store.
+
+        Parallel shipments like :meth:`propagate`, but the ack threshold
+        is ``max(k, majority)`` members (this custodian included): a
+        store never succeeds held by fewer members than can reconstruct
+        it, so an acked write survives every tolerated failure pattern.
+        """
+        entry = self.server.location.entry_for_volume(volume.volume_id)
+        me = self.server.host.name
+        members = list(entry.replicas)
+        peers = [(i, n) for i, n in enumerate(members) if n != me]
+        if not peers:
+            return
+        k = volume.erasure_shape[0]
+        needed = max(k, len(members) // 2 + 1) - 1  # remote acks required
+        outcome = self.sim.event()
+        state = {"acks": 0, "done": 0}
+
+        def ship(index: int, name: str) -> Generator:
+            try:
+                conn = yield from self.server.peer(name)
+                yield from self.server.node.call(
+                    conn, "ReplicateOp",
+                    {"volume_id": volume.volume_id, "record": record},
+                    payload=frags[index],
+                )
+            except ReproError:
+                pass
+            else:
+                state["acks"] += 1
+                if state["acks"] >= needed and not outcome.triggered:
+                    outcome.succeed(True)
+            state["done"] += 1
+            if state["done"] == len(peers) and not outcome.triggered:
+                outcome.succeed(state["acks"] >= needed)
+
+        for index, name in peers:
+            self.sim.process(
+                ship(index, name), name=f"stripe:{volume.volume_id}>{name}"
+            )
+        ok = yield outcome
+        self.propagations += 1
+        if not ok:
+            self.propagation_failures += 1
+            raise ReplicationError(
+                f"volume {volume.volume_id!r}: {state['acks']} of {needed}"
+                f" required fragment acks"
+            )
+
+    # ------------------------------------------------------------------
+    # read path (every member serves its own fragment)
+    # ------------------------------------------------------------------
+
+    def _fetch_fragment_handler(self, conn: Connection, args, payload):
+        """Serve this member's fragment of one file to a client.
+
+        Unlike whole-file fetches this is answered by secondaries too —
+        a degraded read *is* the custodian being unreachable.  The
+        custodian's reply carries the callback promise; fragment replies
+        from other members are advisory data only.
+        """
+        fid = args["fid"]
+        volume_id, vnode = split_fid(fid)
+        volume = self.server.volumes.get(volume_id)
+        if volume is None or volume.erasure_shape is None:
+            # Not (or no longer) a stripe member — e.g. a rebuild moved
+            # this slot to a spare and the client's hint is stale.  Refer
+            # to the current custodian, as volume_by_id does, so the
+            # client retries against fresh membership instead of failing.
+            entry = self.server.location.entry_for_volume(volume_id)
+            raise NotCustodian(entry.custodian)
+        files = self.server.files
+        inode = volume.inode_by_vnode(vnode)
+        files._check(volume, inode, conn.username, Rights.READ)
+        frag = volume.fragments.get(inode.number, b"")
+        yield from self.server.host.compute(
+            self.server.costs.fetch_base_cpu
+            + self.server.costs.acl_check_cpu
+            + len(frag) * self.server.costs.per_byte_cpu
+        )
+        yield from self.server.host.disk.access(len(frag), sequential=True)
+        if volume.replica_role != "secondary":
+            files._maybe_promise(volume, inode, conn)
+        status = files._status_of(volume, inode, conn.username)
+        status["frag_index"] = volume.erasure_index
+        self.fragment_reads += 1
+        self.server.note_volume_access(volume, conn, len(frag))
+        return status, bytes(frag)
+
+    def gather_fetch(self, files, volume, inode, conn) -> Generator:
+        """Whole-file fetch from a coded volume (custodian-side gather).
+
+        The fragment-aware Venus normally reassembles client-side; this
+        covers fragment-unaware callers by reconstructing at the
+        custodian from its own fragment plus peers'.
+        """
+        k, _m = volume.erasure_shape
+        entry = self.server.location.entry_for_volume(volume.volume_id)
+        frags: Dict[int, bytes] = {}
+        own = volume.fragments.get(inode.number)
+        if own is not None:
+            frags[volume.erasure_index] = own
+        fid = make_fid(volume.volume_id, inode.number)
+        for name in entry.replicas:
+            if len(frags) >= k:
+                break
+            if name == self.server.host.name:
+                continue
+            try:
+                pconn = yield from self.server.peer(name)
+                reply, frag = yield from self.server.node.call(
+                    pconn, "FetchFragment", {"fid": fid},
+                    expect_bytes=len(own or b""),
+                )
+            except ReproError:
+                continue
+            index = reply.get("frag_index")
+            if reply["version"] == inode.version and index not in frags:
+                frags[index] = frag
+        true_len = volume.fragment_true_sizes.get(inode.number, 0)
+        if true_len and len(frags) < k:
+            raise ServerUnavailable(
+                f"stripe for {fid} unreadable: {len(frags)} of {k} fragments"
+            )
+        data = decode(frags, k, _m, true_len)
+        yield from self.server.host.compute(
+            len(data) * self.server.costs.per_byte_cpu
+        )
+        files._maybe_promise(volume, inode, conn)
+        status = files._status_of(volume, inode, conn.username)
+        self.server.note_volume_access(volume, conn, len(data))
+        files._count("fetch")
+        return status, data
+
+    # ------------------------------------------------------------------
+    # rebuild (controller-ordered, custodian-driven)
+    # ------------------------------------------------------------------
+
+    def _fetch_fragment_volume_handler(self, conn: Connection, args, payload):
+        """Ship this member's whole fragment set (rebuild source)."""
+        self.server._require_service(conn)
+        volume = self._local_volume(args["volume_id"])
+        blob = marshal.dumps({
+            "index": volume.erasure_index,
+            "frags": {str(v): f for v, f in sorted(volume.fragments.items())},
+            "versions": {
+                str(v): volume._inodes[v].version
+                for v in sorted(volume.fragments)
+                if v in volume._inodes
+            },
+        })
+        yield from self.server.host.disk.access(len(blob), sequential=True)
+        yield from self.server.host.compute(
+            len(blob) * self.server.costs.per_byte_cpu
+        )
+        return {"bytes": len(blob)}, blob
+
+    def _rebuild_stripe_handler(self, conn: Connection, args, payload):
+        """Reconstruct one lost fragment slot and ship it to ``target``.
+
+        Runs at the custodian: gather whole fragment sets from enough
+        live members (``sources``, chosen by the controller), re-derive
+        the missing index per file, and ship a coded volume copy to the
+        target through the ordinary ``ReceiveVolume`` path.
+        """
+        self.server._require_service(conn)
+        volume = self._local_volume(args["volume_id"])
+        k, m = volume.erasure_shape
+        target_index = args["index"]
+        got: Dict[int, Dict[int, bytes]] = {
+            volume.erasure_index: dict(volume.fragments)
+        }
+        versions: Dict[int, Dict[int, int]] = {}
+        gathered = 0
+        for name in args.get("sources", []):
+            if len(got) >= k:
+                break
+            if name == self.server.host.name:
+                continue
+            try:
+                pconn = yield from self.server.peer(name)
+                reply, blob = yield from self.server.node.call(
+                    pconn, "FetchFragmentVolume",
+                    {"volume_id": volume.volume_id},
+                    expect_bytes=max(1024, volume.fragment_bytes),
+                )
+            except ReproError:
+                continue
+            shipment = marshal.loads(blob)
+            index = shipment["index"]
+            got[index] = {int(v): f for v, f in shipment["frags"].items()}
+            versions[index] = {
+                int(v): ver for v, ver in shipment.get("versions", {}).items()
+            }
+            gathered += len(blob)
+        if len(got) < k:
+            raise ServerUnavailable(
+                f"volume {volume.volume_id!r}: only {len(got)} of {k}"
+                f" fragment sets reachable for rebuild"
+            )
+        rebuilt: Dict[int, bytes] = {}
+        sizes: Dict[int, int] = {}
+        recoded = 0
+        for vnode, true_len in sorted(volume.fragment_true_sizes.items()):
+            want = volume._inodes[vnode].version if vnode in volume._inodes else None
+            pieces = {
+                index: frs[vnode] for index, frs in got.items()
+                if vnode in frs and (
+                    index == volume.erasure_index
+                    or versions.get(index, {}).get(vnode) == want
+                )
+            }
+            if len(pieces) < k:
+                continue  # a straggler member is behind; the next pass heals it
+            data = decode(pieces, k, m, true_len)
+            rebuilt[vnode] = encode(data, k, m)[target_index]
+            sizes[vnode] = true_len
+            recoded += len(data)
+        # Re-encoding the stripe is custodian CPU; shipping is the usual
+        # snapshot path, charged at the receiving end.
+        yield from self.server.host.compute(
+            0.010 + recoded * self.server.costs.per_byte_cpu
+        )
+        snap = volume.snapshot()
+        snap["replica_role"] = "secondary"
+        snap["erasure_index"] = target_index
+        snap["fragments"] = {str(v): f for v, f in sorted(rebuilt.items())}
+        snap["fragment_sizes"] = {str(v): n for v, n in sorted(sizes.items())}
+        blob = marshal.dumps(snap)
+        tconn = yield from self.server.peer(args["target"])
+        yield from self.server.node.call(
+            tconn, "ReceiveVolume", {"role": "secondary"},
+            payload=blob, expect_bytes=len(blob),
+        )
+        self.rebuild_bytes += gathered + len(blob)
+        self.stripe_repairs += 1
+        return {"ok": True, "repair_bytes": gathered + len(blob)}, b""
+
+
+# ----------------------------------------------------------------------
+# controller
+# ----------------------------------------------------------------------
+
+
+class ErasureController(ReplicationController):
+    """Failure detector and stripe-membership authority for coded volumes.
+
+    Reuses the heartbeat table, monitor loop, death declaration, lease
+    bookkeeping and location broadcast from the base class; overrides
+    failover and rejoin because stripe membership must never shrink —
+    each slot's index is baked into its fragments.
+    """
+
+    def __init__(self, sim, network, config: ErasureConfig, service_key,
+                 rpc_costs=None, **kwargs):
+        self.econf = config
+        super().__init__(sim, network, config.replication_base(),
+                         service_key, rpc_costs, **kwargs)
+        self.rebuilds = 0
+        self.rebuild_failures = 0
+        sim.metrics.counter("erasure.controller", lambda: {
+            "rebuilds": self.rebuilds,
+            "rebuild_failures": self.rebuild_failures,
+            "deaths_declared": self.deaths_declared,
+            "promotions": self.promotions,
+            "rejoins": self.rejoins,
+        })
+
+    # ------------------------------------------------------------------
+    # failover: promote without shrinking, then rebuild onto spares
+    # ------------------------------------------------------------------
+
+    def _failover(self, dead: str) -> Generator:
+        self.failovers += 1
+        for entry in self.location.entries():
+            if entry.custodian == dead and entry.replicas:
+                yield from self._promote_stripe_member(entry, dead)
+        if self.econf.rebuild:
+            yield from self._rebuild_stripes()
+
+    def _promote_stripe_member(self, entry: LocationEntry, dead: str) -> Generator:
+        """Elect the most up-to-date live member as new custodian.
+
+        Same vv-sum election as replication, but membership is left
+        intact: the dead slot stays listed (fragment indices are
+        positional) until a rebuild re-homes it onto a spare.
+        """
+        best: Optional[str] = None
+        best_score = -1
+        for name in entry.replicas:
+            if name == dead or not self.alive.get(name, False):
+                continue
+            try:
+                conn = yield from self.peer(name)
+                reply, _ = yield from self.node.call(
+                    conn, "ReplicaStatus", {"volume_id": entry.volume_id}
+                )
+            except ReproError:
+                continue
+            score = sum(reply["vv"].values())
+            if score > best_score:
+                best, best_score = name, score
+        if best is None:
+            return  # no live member: the stripe is down until rejoin
+        try:
+            conn = yield from self.peer(best)
+            yield from self.node.call(
+                conn, "PromoteVolume", {"volume_id": entry.volume_id}
+            )
+        except ReproError:
+            return
+        self.location.reassign(entry.volume_id, best)
+        self.promotions += 1
+        yield from self._broadcast_location()
+        if self.tracker is not None:
+            self.tracker.record_failover(entry.volume_id, dead, best)
+
+    def _rebuild_stripes(self) -> Generator:
+        """Re-home every dead slot of every stripe onto a spare server."""
+        changed = False
+        for entry in self.location.entries():
+            if not entry.erasure or not entry.replicas:
+                continue
+            if not self.alive.get(entry.custodian, False):
+                continue  # headless stripe; rejoin recovers it
+            k = entry.erasure[0]
+            for idx, name in enumerate(list(entry.replicas)):
+                if self.alive.get(name, False):
+                    continue
+                live = [n for n in entry.replicas if self.alive.get(n, False)]
+                if len(live) < k:
+                    continue  # unreadable: cannot rebuild until a rejoin
+                spares = [n for n in self.alive_servers()
+                          if n not in entry.replicas]
+                if not spares:
+                    continue  # no spare capacity; rejoin will heal in place
+                if (yield from self._rebuild_slot(entry, idx, spares[0])):
+                    entry.replicas[idx] = spares[0]
+                    self.location.set_replicas(entry.volume_id, entry.replicas)
+                    changed = True
+        if changed:
+            yield from self._broadcast_location()
+
+    def _rebuild_slot(self, entry: LocationEntry, index: int,
+                      target: str) -> Generator:
+        """Order the custodian to rebuild one slot; True on success."""
+        k = entry.erasure[0]
+        sources = [
+            n for n in entry.replicas
+            if self.alive.get(n, False) and n != entry.custodian
+            and n != target
+        ][:k]
+        try:
+            conn = yield from self.peer(entry.custodian)
+            yield from self.node.call(conn, "RebuildStripe", {
+                "volume_id": entry.volume_id,
+                "index": index,
+                "target": target,
+                "sources": sources,
+            })
+        except ReproError:
+            self.rebuild_failures += 1
+            return False
+        self.rebuilds += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # rejoin: demote, rebuild the returned member's slots in place
+    # ------------------------------------------------------------------
+
+    def _rejoin(self, name: str) -> Generator:
+        self.rejoins += 1
+        try:
+            conn = yield from self.peer(name)
+            yield from self.node.call(
+                conn, "SyncLocation", {"snapshot": self.location.snapshot()}
+            )
+            stale = set(self.volumes_at.get(name, []))
+            for entry in self.location.entries():
+                if not entry.replicas or name not in entry.replicas:
+                    continue
+                if entry.custodian == name:
+                    continue  # it still leads this one (it never failed over)
+                if entry.volume_id in stale:
+                    # An ex-custodian copy: step it down before resyncing.
+                    try:
+                        yield from self.node.call(
+                            conn, "DemoteVolume", {"volume_id": entry.volume_id}
+                        )
+                    except ReproError:
+                        pass
+                # Its fragments missed every write since it died: rebuild
+                # the slot in place from the live members.
+                idx = entry.replicas.index(name)
+                yield from self._rebuild_slot(entry, idx, name)
+                stale.discard(entry.volume_id)
+            # Copies of stripes it no longer belongs to (slot re-homed).
+            for volume_id in sorted(stale):
+                try:
+                    entry = self.location.entry_for_volume(volume_id)
+                except ReproError:
+                    continue
+                if entry.replicas and name not in entry.replicas:
+                    vv: Dict[str, int] = {}
+                    try:
+                        pconn = yield from self.peer(entry.custodian)
+                        reply, _ = yield from self.node.call(
+                            pconn, "ReplicaStatus", {"volume_id": volume_id}
+                        )
+                        vv = reply["vv"]
+                    except ReproError:
+                        pass
+                    try:
+                        yield from self.node.call(
+                            conn, "DropVolume",
+                            {"volume_id": volume_id, "vv": vv},
+                        )
+                    except ReproError:
+                        pass
+        finally:
+            self._rejoining.discard(name)
+        if self.econf.rebuild:
+            # The returned server is spare capacity: heal remaining holes.
+            yield from self._rebuild_stripes()
+
+
+# ----------------------------------------------------------------------
+# health (benchmark/test-side inspection, not part of the protocol)
+# ----------------------------------------------------------------------
+
+
+def stripe_health(campus) -> float:
+    """Fraction of stripe slots that are live and current (1.0 = whole).
+
+    A slot is healthy when its server is up and its copy holds a
+    correctly-versioned fragment for every file the custodian knows.
+    """
+    controller = campus.replication_controller
+    location = (campus._location_master if controller is None
+                else controller.location)
+    healthy = 0
+    total = 0
+    by_name = {server.host.name: server for server in campus.servers}
+    for entry in location.entries():
+        if not entry.erasure or not entry.replicas:
+            continue
+        custodian = by_name.get(entry.custodian)
+        reference = (custodian.volumes.get(entry.volume_id)
+                     if custodian is not None else None)
+        if reference is None:
+            total += len(entry.replicas)
+            continue
+        expected = {
+            vnode: node.version
+            for vnode, node in reference._inodes.items()
+            if node.file_type == FileType.FILE
+        }
+        for name in entry.replicas:
+            total += 1
+            server = by_name.get(name)
+            if server is None or not server.host.up:
+                continue
+            volume = server.volumes.get(entry.volume_id)
+            if volume is None or volume.erasure_shape is None:
+                continue
+            if all(
+                vnode in volume.fragments
+                and vnode in volume._inodes
+                and volume._inodes[vnode].version == version
+                for vnode, version in expected.items()
+            ):
+                healthy += 1
+    return healthy / total if total else 1.0

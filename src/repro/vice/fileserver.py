@@ -31,6 +31,7 @@ from repro.errors import (
     IsADirectory,
     NotADirectory,
     PermissionDenied,
+    QuotaExceeded,
     ReproError,
 )
 from repro.obs.trace import _NULL_SPAN
@@ -169,7 +170,7 @@ class FileService:
         return {
             "fid": make_fid(volume.volume_id, inode.number),
             "type": inode.file_type,
-            "size": inode.size,
+            "size": volume.size_of(inode),
             "version": inode.version,
             "mtime": inode.mtime,
             "owner": inode.owner,
@@ -252,6 +253,12 @@ class FileService:
         if inode.file_type == FileType.DIRECTORY:
             raise IsADirectory(volume.path_of(inode.number))
         self._check(volume, inode, conn.username, Rights.READ)
+        if volume.erasure_shape is not None and inode.file_type == FileType.FILE:
+            # Striped file: the data lives only as fragments.  Venus
+            # normally reassembles client-side; this custodian-side
+            # gather covers fragment-unaware callers.
+            return (yield from self.server.replication.gather_fetch(
+                self, volume, inode, conn))
         fid = make_fid(volume.volume_id, inode.number)
         tracer = self.sim.tracer
         with (tracer.span("vice.fetch", component="vice",
@@ -296,20 +303,48 @@ class FileService:
               if tracer.enabled else _NULL_SPAN):
             guard = yield from self.server.vnode_guard(guard_fid)
             try:
+                coded = volume.erasure_shape is not None
+                frags = None
                 yield from self.host.compute(
                     self.costs.store_base_cpu
                     + self.costs.acl_check_cpu
                     + len(data) * self.costs.per_byte_cpu
                 )
-                yield from self.host.disk.access(len(data), write=True, sequential=True)
+                if coded:
+                    from repro.vice.erasure import encode
+                    old_len = (0 if created else
+                               volume.fragment_true_sizes.get(inode.number, 0))
+                    if (volume.quota_bytes is not None
+                            and volume.logical_bytes + len(data) - old_len
+                            > volume.quota_bytes):
+                        raise QuotaExceeded(
+                            f"volume {volume.volume_id}: striped store exceeds"
+                            f" quota {volume.quota_bytes}"
+                        )
+                    # Encoding the stripe is one extra per-byte CPU pass;
+                    # only this member's fragment hits the local disk.
+                    yield from self.host.compute(
+                        len(data) * self.costs.per_byte_cpu
+                    )
+                    frags = encode(data, *volume.erasure_shape)
+                    yield from self.host.disk.access(
+                        len(frags[0]), write=True, sequential=True
+                    )
+                else:
+                    yield from self.host.disk.access(len(data), write=True, sequential=True)
                 yield from self._status_disk()
+                stored = b"" if coded else data
                 if created:
                     parent_path = volume.path_of(parent.number)
                     inode = volume.create_file(
-                        pathutil.join(parent_path, name), data, owner=conn.username
+                        pathutil.join(parent_path, name), stored, owner=conn.username
                     )
                 else:
-                    inode = volume.write_vnode(inode.number, data)
+                    inode = volume.write_vnode(inode.number, stored)
+                if coded:
+                    volume.set_fragment(
+                        inode.number, frags[volume.erasure_index], len(data)
+                    )
                 fid = make_fid(volume.volume_id, inode.number)
                 yield from self._break_callbacks(fid, exclude=conn)
                 if created:
@@ -320,13 +355,23 @@ class FileService:
                 status = self._status_of(volume, inode, conn.username)
             finally:
                 self.server.vnode_release(guard_fid, guard)
-        yield from self.server.replicate_mutation(volume, {
-            "op": "write",
-            "path": volume.path_of(inode.number),
-            "vnode": inode.number,
-            "version": inode.version,
-            "owner": conn.username,
-        }, payload=data)
+        if not coded:
+            yield from self.server.replicate_mutation(volume, {
+                "op": "write",
+                "path": volume.path_of(inode.number),
+                "vnode": inode.number,
+                "version": inode.version,
+                "owner": conn.username,
+            }, payload=data)
+        else:
+            yield from self.server.replicate_fragments(volume, {
+                "op": "write",
+                "path": volume.path_of(inode.number),
+                "vnode": inode.number,
+                "version": inode.version,
+                "owner": conn.username,
+                "frag": {"len": len(data)},
+            }, frags)
         self.server.note_volume_access(volume, conn, len(data))
         self._count("store")
         return status, b""

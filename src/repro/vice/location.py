@@ -33,7 +33,12 @@ class LocationEntry:
     ro_servers: List[str] = field(default_factory=list)
     # Read-write replica sites (custodian first) when the volume is
     # N-way replicated; empty otherwise.  See repro.vice.replication.
+    # Erasure-coded stripes reuse the same list as slot-ordered stripe
+    # members (index i holds fragment i).
     replicas: List[str] = field(default_factory=list)
+    # [k, m] when the volume is erasure-coded; None otherwise.  See
+    # repro.vice.erasure.
+    erasure: Optional[List[int]] = None
 
     def as_dict(self) -> Dict:
         """Marshal-friendly form."""
@@ -48,6 +53,8 @@ class LocationEntry:
         # campuses are unchanged.
         if self.replicas:
             record["replicas"] = list(self.replicas)
+        if self.erasure:
+            record["erasure"] = list(self.erasure)
         return record
 
     @classmethod
@@ -59,6 +66,7 @@ class LocationEntry:
             custodian=record["custodian"],
             ro_servers=list(record.get("ro_servers", [])),
             replicas=list(record.get("replicas", [])),
+            erasure=list(record["erasure"]) if record.get("erasure") else None,
         )
 
 

@@ -121,7 +121,8 @@ class ViceServer:
         # unreplicated campuses carry no heartbeat traffic at all.
         self.replication = None
 
-        FileService(self).register_all()
+        self.files = FileService(self)
+        self.files.register_all()
         self.node.register("SyncLocation", self._sync_location_handler)
         self.node.register("SyncProtection", self._sync_protection_handler)
         self.node.register("ReceiveVolume", self._receive_volume_handler)
@@ -215,6 +216,19 @@ class ViceServer:
             return
         record = dict(record, vv=dict(volume.bump_version_vector(self.host.name)))
         yield from self.replication.propagate(volume, record, payload)
+
+    def replicate_fragments(self, volume: Volume, record: Dict,
+                            frags: List[bytes]) -> Generator:
+        """Propagate one striped store, each member getting its fragment.
+
+        The erasure analogue of :meth:`replicate_mutation` (the agent is
+        a :class:`~repro.vice.erasure.ServerErasure` whenever a coded
+        volume exists); same no-op guarantee for plain volumes.
+        """
+        if self.replication is None or volume.replica_role != "primary":
+            return
+        record = dict(record, vv=dict(volume.bump_version_vector(self.host.name)))
+        yield from self.replication.propagate_fragments(volume, record, frags)
 
     # ------------------------------------------------------------------
     # local administration (pre-simulation setup)

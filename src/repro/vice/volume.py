@@ -24,7 +24,7 @@ server layer.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import (
     FileNotFound,
@@ -70,6 +70,17 @@ class Volume:
         # after a crash mid-propagation.
         self.replica_role: Optional[str] = None
         self.version_vector: Dict[str, int] = {}
+        # Erasure coding (repro.vice.erasure).  None on every plain
+        # volume.  A coded stripe member keeps the full metadata tree
+        # with *empty* file data, plus its own fragment of every file
+        # keyed by vnode; true lengths back the status size so clients
+        # never see the (padded) fragment length.
+        self.erasure_shape: Optional[Tuple[int, int]] = None
+        self.erasure_index: Optional[int] = None
+        self.fragments: Dict[int, bytes] = {}
+        self.fragment_true_sizes: Dict[int, int] = {}
+        self.fragment_bytes = 0
+        self.logical_bytes = 0
         self.fs = UnixFileSystem(clock, name=f"vol:{volume_id}")
         self.used_bytes = 0
         self._inodes: Dict[int, Inode] = {self.fs.root.number: self.fs.root}
@@ -243,6 +254,30 @@ class Volume:
         new_parent = self.fs.resolve(pathutil.dirname(new))
         self._parents[node.number] = new_parent.number
 
+    # -- erasure coding (repro.vice.erasure) --------------------------------------
+
+    def set_fragment(self, vnode: int, frag: bytes, true_len: int) -> None:
+        """Install this member's fragment of a striped file."""
+        self.fragment_bytes += len(frag) - len(self.fragments.get(vnode, b""))
+        self.logical_bytes += true_len - self.fragment_true_sizes.get(vnode, 0)
+        self.fragments[vnode] = bytes(frag)
+        self.fragment_true_sizes[vnode] = true_len
+
+    def drop_fragment(self, vnode: int) -> None:
+        """Forget the fragment of a deleted (or renumbered-away) file."""
+        frag = self.fragments.pop(vnode, None)
+        if frag is not None:
+            self.fragment_bytes -= len(frag)
+        self.logical_bytes -= self.fragment_true_sizes.pop(vnode, 0)
+
+    def size_of(self, inode: Inode) -> int:
+        """The logical size clients should see (fragments hide the data)."""
+        if self.erasure_shape is not None:
+            size = self.fragment_true_sizes.get(inode.number)
+            if size is not None:
+                return size
+        return inode.size
+
     # -- read-write replication (repro.vice.replication) -------------------------
 
     def bump_version_vector(self, origin: str) -> Dict[str, int]:
@@ -274,9 +309,16 @@ class Volume:
         op = record["op"]
         owner = record.get("owner", self.owner)
         if op == "write":
-            node = self.write(record["path"], payload, owner=owner)
+            frag = record.get("frag")
+            node = self.write(
+                record["path"], b"" if frag is not None else payload, owner=owner
+            )
             self._renumber(node, record["vnode"])
             node.version = record["version"]
+            if frag is not None:
+                # A striped store: the payload is this member's fragment,
+                # not file data; the true length rides in the record.
+                self.set_fragment(node.number, payload, frag["len"])
         elif op == "mkdir":
             node = self.mkdir(record["path"], owner=owner)
             self._renumber(node, record["vnode"])
@@ -316,6 +358,10 @@ class Volume:
         acl = self.acls.pop(old, None)
         if acl is not None:
             self.acls[vnode] = acl
+        frag = self.fragments.pop(old, None)
+        if frag is not None:
+            self.fragments[vnode] = frag
+            self.fragment_true_sizes[vnode] = self.fragment_true_sizes.pop(old)
         node.number = vnode
         if vnode > old:
             # Keep this copy's allocator clear of adopted numbers.
@@ -329,6 +375,7 @@ class Volume:
     def _forget(self, node: Inode) -> None:
         if node.file_type == FileType.FILE:
             self.used_bytes -= len(node.data)
+            self.drop_fragment(node.number)
         for name, child in list(node.entries.items()):
             self._forget(child)
         self._inodes.pop(node.number, None)
@@ -354,6 +401,10 @@ class Volume:
         between a volume and its clones by swapping the volume id.
         """
         self._check_online()
+        if self.erasure_shape is not None:
+            raise InvalidArgument(
+                "read-only release is unsupported for erasure-coded volumes"
+            )
         replica = Volume(
             clone_id,
             name or f"{self.name}.readonly",
@@ -444,6 +495,15 @@ class Volume:
         self._parents = parents
         self.acls = acls
         self.used_bytes = used
+        if self.erasure_shape is not None:
+            files = {
+                num for num, node in reachable.items()
+                if node.file_type == FileType.FILE
+            }
+            orphans = [v for v in self.fragments if v not in files]
+            for vnode in orphans:
+                self.drop_fragment(vnode)
+            report["orphan_fragments"] = len(orphans)
         return report
 
     # -- serialisation (volume moves between servers) ----------------------------
@@ -488,6 +548,17 @@ class Volume:
         if self.replica_role is not None or self.version_vector:
             snap["replica_role"] = self.replica_role
             snap["version_vector"] = dict(self.version_vector)
+        # Likewise erasure metadata: only coded stripe members ship their
+        # shape, slot index and fragment set (marshal needs string keys).
+        if self.erasure_shape is not None:
+            snap["erasure_shape"] = list(self.erasure_shape)
+            snap["erasure_index"] = self.erasure_index
+            snap["fragments"] = {
+                str(v): f for v, f in sorted(self.fragments.items())
+            }
+            snap["fragment_sizes"] = {
+                str(v): n for v, n in sorted(self.fragment_true_sizes.items())
+            }
         return snap
 
     @classmethod
@@ -528,6 +599,13 @@ class Volume:
                 volume.acls[node.number] = AccessList.from_dict(record["acl"])
             if node.file_type == FileType.FILE:
                 volume.used_bytes += len(node.data)
+        shape = snapshot.get("erasure_shape")
+        if shape is not None:
+            volume.erasure_shape = (shape[0], shape[1])
+            volume.erasure_index = snapshot.get("erasure_index")
+            sizes = snapshot.get("fragment_sizes") or {}
+            for key, frag in (snapshot.get("fragments") or {}).items():
+                volume.set_fragment(int(key), bytes(frag), int(sizes.get(key, 0)))
         # Keep future inode numbers clear of the shipped ones.
         while next(volume.fs._inode_numbers) < max_vnode + 1:
             pass
@@ -536,7 +614,7 @@ class Volume:
     @property
     def snapshot_bytes(self) -> int:
         """Approximate wire size of a snapshot (for move-cost charging)."""
-        return self.used_bytes + 256 * len(self._inodes)
+        return self.used_bytes + self.fragment_bytes + 256 * len(self._inodes)
 
     @property
     def file_count(self) -> int:
